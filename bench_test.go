@@ -1,0 +1,231 @@
+// Benchmarks that regenerate every table and figure of the paper (one
+// benchmark per experiment of the E01..E18 index in DESIGN.md), plus
+// micro-benchmarks of the simulation engine, the constructions and the
+// padding solver.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// The experiment benchmarks exist so that regenerating the paper's results
+// is part of the standard tooling: each iteration rebuilds the corresponding
+// experiment table from scratch.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/color"
+	"repro/internal/dynamo"
+	"repro/internal/graphs"
+	"repro/internal/grid"
+	"repro/internal/rng"
+	"repro/internal/rules"
+	"repro/internal/sim"
+	"repro/internal/tvg"
+)
+
+// benchExperiment runs one experiment generator per iteration and reports
+// the number of table rows it produced.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	exp, ok := analysis.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	rows := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		table := exp.Run()
+		rows = len(table.Rows)
+	}
+	b.ReportMetric(float64(rows), "rows")
+}
+
+func BenchmarkE01MeshBounds(b *testing.B)      { benchExperiment(b, "E01") }
+func BenchmarkE02Figure1(b *testing.B)         { benchExperiment(b, "E02") }
+func BenchmarkE03Theorem2(b *testing.B)        { benchExperiment(b, "E03") }
+func BenchmarkE04Counterexamples(b *testing.B) { benchExperiment(b, "E04") }
+func BenchmarkE05Cordalis(b *testing.B)        { benchExperiment(b, "E05") }
+func BenchmarkE06Serpentinus(b *testing.B)     { benchExperiment(b, "E06") }
+func BenchmarkE07MeshRounds(b *testing.B)      { benchExperiment(b, "E07") }
+func BenchmarkE08SpiralRounds(b *testing.B)    { benchExperiment(b, "E08") }
+func BenchmarkE09Figure5(b *testing.B)         { benchExperiment(b, "E09") }
+func BenchmarkE10Figure6(b *testing.B)         { benchExperiment(b, "E10") }
+func BenchmarkE11Proposition3(b *testing.B)    { benchExperiment(b, "E11") }
+func BenchmarkE12RuleComparison(b *testing.B)  { benchExperiment(b, "E12") }
+func BenchmarkE13ScaleFree(b *testing.B)       { benchExperiment(b, "E13") }
+func BenchmarkE14TimeVarying(b *testing.B)     { benchExperiment(b, "E14") }
+func BenchmarkE15Scalability(b *testing.B)     { benchExperiment(b, "E15") }
+func BenchmarkE16PaddingAblation(b *testing.B) { benchExperiment(b, "E16") }
+func BenchmarkE17SubBoundSearch(b *testing.B)  { benchExperiment(b, "E17") }
+func BenchmarkE18Propagation(b *testing.B)     { benchExperiment(b, "E18") }
+
+// randomColoring builds a reproducible random coloring for the engine
+// benchmarks.
+func randomColoring(seed uint64, dims grid.Dims, colors int) *color.Coloring {
+	src := rng.New(seed)
+	p := color.MustPalette(colors)
+	return color.RandomColoring(dims, p, func() int { return src.Intn(p.K) })
+}
+
+// BenchmarkEngineStepSequential measures single-round throughput of the
+// sequential stepper on random colorings.
+func BenchmarkEngineStepSequential(b *testing.B) {
+	for _, size := range []int{32, 64, 128, 256} {
+		b.Run(grid.MustDims(size, size).String(), func(b *testing.B) {
+			topo := grid.MustNew(grid.KindToroidalMesh, size, size)
+			eng := sim.NewEngine(topo, rules.SMP{})
+			cur := randomColoring(1, topo.Dims(), 5)
+			next := cur.Clone()
+			b.SetBytes(int64(topo.Dims().N()))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.Step(cur, next)
+				cur, next = next, cur
+			}
+		})
+	}
+}
+
+// BenchmarkEngineStepParallel measures single-round throughput of the
+// striped parallel stepper.
+func BenchmarkEngineStepParallel(b *testing.B) {
+	for _, size := range []int{128, 256} {
+		for _, workers := range []int{2, 4, 8} {
+			name := grid.MustDims(size, size).String() + "-workers" + string(rune('0'+workers))
+			b.Run(name, func(b *testing.B) {
+				topo := grid.MustNew(grid.KindToroidalMesh, size, size)
+				eng := sim.NewEngine(topo, rules.SMP{})
+				cur := randomColoring(1, topo.Dims(), 5)
+				next := cur.Clone()
+				b.SetBytes(int64(topo.Dims().N()))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					eng.StepParallel(cur, next, workers)
+					cur, next = next, cur
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkSMPRule measures the rule evaluation itself.
+func BenchmarkSMPRule(b *testing.B) {
+	neighborhoods := [][]color.Color{
+		{1, 1, 1, 1},
+		{1, 1, 2, 3},
+		{1, 1, 2, 2},
+		{1, 2, 3, 4},
+		{2, 2, 2, 5},
+	}
+	rule := rules.SMP{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rule.Next(5, neighborhoods[i%len(neighborhoods)])
+	}
+}
+
+// BenchmarkRunToConvergence measures full dynamo runs (the workload behind
+// Theorems 7 and 8).
+func BenchmarkRunToConvergence(b *testing.B) {
+	for _, size := range []int{16, 32, 64} {
+		b.Run(grid.MustDims(size, size).String(), func(b *testing.B) {
+			cons, err := dynamo.MeshMinimum(size, size, 1, color.MustPalette(5))
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng := sim.NewEngine(cons.Topology, rules.SMP{})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res := eng.Run(cons.Coloring, sim.Options{Target: 1, StopWhenMonochromatic: true})
+				if !res.Monochromatic {
+					b.Fatal("construction failed to converge")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkConstruction measures how long the tight constructions (including
+// the padding search) take to build.
+func BenchmarkConstruction(b *testing.B) {
+	cases := []struct {
+		name string
+		kind grid.Kind
+		m, n int
+	}{
+		{"mesh-16x16", grid.KindToroidalMesh, 16, 16},
+		{"mesh-32x32", grid.KindToroidalMesh, 32, 32},
+		{"cordalis-16x16", grid.KindTorusCordalis, 16, 16},
+		{"serpentinus-16x16", grid.KindTorusSerpentinus, 16, 16},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := dynamo.Minimum(c.kind, c.m, c.n, 1, color.MustPalette(5)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPaddingSolver measures the randomized greedy padding solver on
+// the full-cross seed.
+func BenchmarkPaddingSolver(b *testing.B) {
+	topo := grid.MustNew(grid.KindToroidalMesh, 16, 16)
+	seed := color.NewColoring(topo.Dims(), color.None)
+	seed.FillRow(0, 1)
+	seed.FillCol(0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dynamo.SolvePadding(topo, seed, 1, color.MustPalette(5), rng.New(uint64(i)), 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBlocksDetection measures k-block / non-k-block detection, the
+// structural analysis behind Lemma 2.
+func BenchmarkBlocksDetection(b *testing.B) {
+	cons, err := dynamo.MeshMinimum(32, 32, 1, color.MustPalette(5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := dynamo.CheckTheoremConditions(cons); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScaleFreeSpread measures the general-graph engine on a
+// Barabási–Albert network (experiment E13's inner loop).
+func BenchmarkScaleFreeSpread(b *testing.B) {
+	g, err := graphs.NewBarabasiAlbert(1000, 2, rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	seed := graphs.SeedTopByDegree(g, 20, 1, 2)
+	rule := rules.Threshold{Target: 1, Theta: 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		graphs.Run(g, rule, seed, 1, 500)
+	}
+}
+
+// BenchmarkTimeVaryingRun measures the time-varying engine (experiment E14's
+// inner loop).
+func BenchmarkTimeVaryingRun(b *testing.B) {
+	cons, err := dynamo.MeshMinimum(9, 9, 1, color.MustPalette(5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tvg.Run(cons.Topology, tvg.Bernoulli{P: 0.95, Seed: uint64(i)}, rules.SMP{}, cons.Coloring, 2000)
+	}
+}

@@ -1,0 +1,77 @@
+// Command dynamoexp regenerates the paper's tables and figures (the
+// experiment index E01..E18 of DESIGN.md) and prints them as text, CSV or
+// markdown.
+//
+// Examples:
+//
+//	dynamoexp                 # run every experiment
+//	dynamoexp -exp E07        # run a single experiment
+//	dynamoexp -list           # list the experiment index
+//	dynamoexp -exp E09 -csv   # CSV output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/ascii"
+)
+
+func main() {
+	var (
+		expID    = flag.String("exp", "", "run only the experiment with this id (e.g. E07)")
+		list     = flag.Bool("list", false, "list the experiment index and exit")
+		csv      = flag.Bool("csv", false, "print tables as CSV")
+		markdown = flag.Bool("markdown", false, "print tables as markdown")
+		outDir   = flag.String("out", "", "also write one file per experiment into this directory")
+	)
+	flag.Parse()
+
+	experiments := analysis.All()
+	if *list {
+		for _, e := range experiments {
+			fmt.Printf("%s  %-60s  paper: %s\n", e.ID, e.Title, e.Paper)
+		}
+		return
+	}
+	if *expID != "" {
+		e, ok := analysis.ByID(*expID)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "dynamoexp: unknown experiment %q (use -list)\n", *expID)
+			os.Exit(1)
+		}
+		experiments = []analysis.Experiment{e}
+	}
+	if *outDir != "" {
+		format := analysis.FormatText
+		if *csv {
+			format = analysis.FormatCSV
+		} else if *markdown {
+			format = analysis.FormatMarkdown
+		}
+		files, err := analysis.Export(*outDir, experiments, format)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dynamoexp:", err)
+			os.Exit(1)
+		}
+		for _, f := range files {
+			fmt.Println("wrote", f)
+		}
+		return
+	}
+	for _, e := range experiments {
+		fmt.Print(ascii.Banner(fmt.Sprintf("%s  %s", e.ID, e.Title)))
+		table := e.Run()
+		switch {
+		case *csv:
+			fmt.Print(table.CSV())
+		case *markdown:
+			fmt.Print(table.Markdown())
+		default:
+			fmt.Print(table.Render())
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,36 @@
+// Command dynamofig regenerates the paper's figures 1-6 as ASCII art.
+//
+// Examples:
+//
+//	dynamofig           # all six figures
+//	dynamofig -fig 5    # only Figure 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure number 1-6 (0 = all)")
+	flag.Parse()
+
+	render := func(n int) {
+		out, err := core.Figure(n)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dynamofig:", err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+	if *fig != 0 {
+		render(*fig)
+		return
+	}
+	for n := 1; n <= 6; n++ {
+		render(n)
+	}
+}

@@ -1,0 +1,108 @@
+// Command dynamosearch looks for dynamos by randomized (and, for tiny tori,
+// exhaustive) search, independently of the paper's constructions.  It is the
+// tool that produced the sub-bound counterexamples recorded in
+// EXPERIMENTS.md.
+//
+// Examples:
+//
+//	dynamosearch -topology mesh -rows 4 -cols 4 -colors 5            # search below the bound
+//	dynamosearch -topology mesh -rows 5 -cols 5 -size 7 -trials 5000 # one specific size
+//	dynamosearch -topology mesh -rows 3 -cols 3 -size 3 -exhaustive  # enumerate placements
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/ascii"
+	"repro/internal/color"
+	"repro/internal/dynamo"
+	"repro/internal/grid"
+	"repro/internal/search"
+)
+
+func main() {
+	var (
+		topology   = flag.String("topology", "mesh", "torus topology: mesh, cordalis or serpentinus")
+		rows       = flag.Int("rows", 4, "number of rows (m)")
+		cols       = flag.Int("cols", 4, "number of columns (n)")
+		colors     = flag.Int("colors", 5, "palette size |C|")
+		size       = flag.Int("size", 0, "seed size to search for (0 = scan downward from the paper bound)")
+		trials     = flag.Int("trials", 2000, "random configurations per seed size")
+		anyDynamo  = flag.Bool("any", false, "accept non-monotone dynamos too")
+		exhaustive = flag.Bool("exhaustive", false, "enumerate every seed placement (tiny tori only)")
+		seed       = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	kind, err := grid.ParseKind(*topology)
+	if err != nil {
+		fatal(err)
+	}
+	topo, err := grid.New(kind, *rows, *cols)
+	if err != nil {
+		fatal(err)
+	}
+	p, err := color.NewPalette(*colors)
+	if err != nil {
+		fatal(err)
+	}
+	bound := dynamo.LowerBound(kind, topo.Dims())
+	fmt.Printf("topology=%s size=%dx%d colors=%d paper-bound=%d\n", kind, *rows, *cols, *colors, bound)
+
+	opt := search.Options{Trials: *trials, RequireMonotone: !*anyDynamo, Seed: *seed}
+
+	report := func(found *search.Found) {
+		fmt.Printf("found a %s dynamo of size %d (converges in %d rounds):\n",
+			kindLabel(found.Monotone), found.SeedSize, found.Rounds)
+		fmt.Print(ascii.Coloring(found.Coloring, 1))
+		if found.SeedSize < bound {
+			fmt.Printf("NOTE: this is below the paper's Theorem bound of %d — see EXPERIMENTS.md (E17).\n", bound)
+		}
+	}
+
+	switch {
+	case *exhaustive:
+		target := *size
+		if target == 0 {
+			target = bound - 1
+		}
+		found, placements, err := search.ExhaustiveMonotoneDynamo(topo, target, 1, p, 8, 0)
+		if err != nil {
+			fatal(err)
+		}
+		if found == nil {
+			fmt.Printf("no monotone dynamo of size %d exists among %d placements (with the random paddings tried)\n", target, placements)
+			return
+		}
+		report(found)
+	case *size > 0:
+		found := search.RandomDynamo(topo, *size, 1, p, opt)
+		if found == nil {
+			fmt.Printf("no dynamo of size %d found in %d trials\n", *size, *trials)
+			return
+		}
+		report(found)
+	default:
+		best, found := search.SmallestRandomDynamo(topo, bound, 1, p, opt)
+		if found == nil {
+			fmt.Printf("no dynamo below the bound found in %d trials per size\n", *trials)
+			return
+		}
+		fmt.Printf("smallest size found: %d (bound %d)\n", best, bound)
+		report(found)
+	}
+}
+
+func kindLabel(monotone bool) string {
+	if monotone {
+		return "monotone"
+	}
+	return "non-monotone"
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dynamosearch:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,126 @@
+// Command dynamosim runs a single SMP-Protocol simulation on a colored
+// torus and prints the outcome.
+//
+// Examples:
+//
+//	dynamosim -topology mesh -rows 9 -cols 9 -colors 5 -config minimum -render
+//	dynamosim -topology cordalis -rows 5 -cols 5 -colors 6 -config minimum -timing
+//	dynamosim -topology mesh -rows 12 -cols 12 -colors 4 -config random -seed 7
+//	dynamosim -topology mesh -rows 6 -cols 6 -colors 2 -config cross -rule pb
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/ascii"
+	"repro/internal/color"
+	"repro/internal/core"
+	"repro/internal/dynamo"
+	"repro/internal/grid"
+)
+
+func main() {
+	var (
+		topology = flag.String("topology", "mesh", "torus topology: mesh, cordalis or serpentinus")
+		rows     = flag.Int("rows", 9, "number of rows (m)")
+		cols     = flag.Int("cols", 9, "number of columns (n)")
+		colors   = flag.Int("colors", 5, "palette size |C|")
+		config   = flag.String("config", "minimum", "initial configuration: minimum, cross, comb, random, blocked, frozen")
+		ruleName = flag.String("rule", "smp", "recoloring rule: smp, pb, pc, strong-majority, increment")
+		target   = flag.Int("target", 1, "target color k")
+		seed     = flag.Uint64("seed", 1, "random seed for the random configuration")
+		render   = flag.Bool("render", false, "render the initial and final colorings")
+		timing   = flag.Bool("timing", false, "print the per-vertex recoloring-time matrix (Figures 5/6 format)")
+	)
+	flag.Parse()
+
+	sys, err := core.NewSystem(*topology, *rows, *cols, *colors)
+	if err != nil {
+		fatal(err)
+	}
+	if sys, err = sys.WithRule(*ruleName); err != nil {
+		fatal(err)
+	}
+	k := color.Color(*target)
+
+	cons, err := buildConfig(sys, *config, k, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	initial := cons.Coloring
+
+	fmt.Printf("topology=%s size=%dx%d colors=%d rule=%s config=%s seed-size=%d lower-bound=%d\n",
+		sys.Topology.Name(), *rows, *cols, *colors, sys.Rule.Name(), cons.Name, initial.Count(k), sys.LowerBound())
+	if *render {
+		fmt.Println("initial configuration:")
+		fmt.Print(ascii.Coloring(initial, k))
+	}
+
+	var rep *core.Report
+	if sys.Rule.Name() == "smp" {
+		rep = sys.Verify(cons)
+	} else {
+		rep = sys.VerifyColoring(initial, k)
+		rep.Construction = cons.Name
+	}
+	fmt.Println(rep.Summary())
+	if *render {
+		fmt.Println("final configuration:")
+		fmt.Print(ascii.Coloring(rep.Result.Final, k))
+	}
+	if *timing {
+		_, rendered := sys.TimingMatrix(initial, k)
+		fmt.Println("recoloring-time matrix (0 = seed, · = never):")
+		fmt.Print(rendered)
+	}
+}
+
+func buildConfig(sys *core.System, config string, k color.Color, seed uint64) (*dynamo.Construction, error) {
+	d := sys.Topology.Dims()
+	wrap := func(c *color.Coloring, name string) *dynamo.Construction {
+		return &dynamo.Construction{
+			Name:     name,
+			Topology: sys.Topology,
+			Target:   k,
+			Palette:  sys.Palette,
+			Seed:     c.Vertices(k),
+			Coloring: c,
+		}
+	}
+	switch config {
+	case "cross", "blocked", "frozen":
+		if sys.Topology.Kind() != grid.KindToroidalMesh {
+			return nil, fmt.Errorf("config %q is defined on the toroidal mesh; use -topology mesh", config)
+		}
+	}
+	switch config {
+	case "minimum":
+		return sys.MinimumDynamo(k)
+	case "cross":
+		if sys.Palette.K >= 4 {
+			return dynamo.FullCross(d.Rows, d.Cols, k, sys.Palette)
+		}
+		// Two- and three-color crosses are used by the rule-comparison runs.
+		c := color.NewColoring(d, sys.Palette.Others(k)[0])
+		c.FillRow(0, k)
+		c.FillCol(0, k)
+		return wrap(c, "two-color-cross"), nil
+	case "comb":
+		return dynamo.CombUpperBound(sys.Topology.Kind(), d.Rows, d.Cols, k, sys.Palette)
+	case "blocked":
+		return dynamo.BlockedCross(d.Rows, d.Cols, k, sys.Palette)
+	case "frozen":
+		return dynamo.FrozenTiling(d.Rows, d.Cols, k, sys.Palette)
+	case "random":
+		return wrap(sys.RandomColoring(seed), "random"), nil
+	default:
+		return nil, fmt.Errorf("unknown config %q (want minimum, cross, comb, random, blocked or frozen)", config)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dynamosim:", err)
+	os.Exit(1)
+}

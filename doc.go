@@ -1,0 +1,24 @@
+// Package repro reproduces the paper "Dynamic Monopolies in Colored Tori"
+// (Brunetti, Lodi, Quattrociocchi, IPPS Workshops 2011, arXiv:1101.5915).
+//
+// The repository implements, from scratch and with the standard library only:
+//
+//   - the three 4-regular torus topologies studied by the paper (toroidal
+//     mesh, torus cordalis, torus serpentinus) — internal/grid;
+//   - the SMP-Protocol ("simple majority with persuadable entities") and the
+//     bi-colored baseline rules of Flocchini et al. — internal/rules;
+//   - a synchronous simulation engine with sequential and parallel stepping,
+//     monotonicity tracking and recoloring-time traces — internal/sim;
+//   - k-block / non-k-block / forest structural analysis — internal/blocks;
+//   - the paper's dynamo constructions, lower bounds, round-count formulas
+//     and counterexamples — internal/dynamo;
+//   - the experiment harness regenerating every table and figure of the
+//     paper — internal/analysis and bench_test.go;
+//   - the extensions sketched in the paper's conclusions (scale-free graphs,
+//     time-varying graphs, bounded-confidence opinions) — internal/graphs,
+//     internal/tvg, internal/opinion;
+//   - a high-level façade — internal/core.
+//
+// See README.md for a quickstart, DESIGN.md for the system inventory and
+// EXPERIMENTS.md for the paper-vs-measured record of every experiment.
+package repro

@@ -1,0 +1,69 @@
+// Scale-free extension: the open problem from the paper's conclusions —
+// "scale-free networks could be studied under the SMP-Protocol in order to
+// have a comparative analysis with respect to other algorithmic models of
+// social influence".
+//
+// The example generates a Barabási–Albert network, spreads an opinion from
+// hub, random and greedy-TSS seed sets under both the generalized SMP rule
+// and the irreversible linear-threshold rule, and compares the outcome with
+// the Deffuant bounded-confidence model on the same graph.
+//
+// Run with:
+//
+//	go run ./examples/scalefree
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/graphs"
+	"repro/internal/opinion"
+	"repro/internal/rng"
+	"repro/internal/rules"
+)
+
+func main() {
+	const vertices, attach = 400, 2
+	g, err := graphs.NewBarabasiAlbert(vertices, attach, rng.New(11))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Barabási–Albert network: %d vertices, %d edges, max degree %d, average degree %.1f\n\n",
+		g.N(), g.EdgeCount(), g.MaxDegree(), g.AverageDegree())
+
+	threshold := rules.Threshold{Target: 1, Theta: 2}
+	smp := graphs.GeneralizedSMP{}
+
+	fmt.Println("opinion spreading from small seed sets (fraction of the network activated):")
+	fmt.Printf("%-10s %-22s %-22s\n", "seed size", "irreversible threshold", "generalized SMP")
+	for _, seedSize := range []int{4, 8, 16, 32} {
+		hubSeed := graphs.SeedTopByDegree(g, seedSize, 1, 2)
+		thrRes := graphs.Run(g, threshold, hubSeed, 1, 800)
+		smpRes := graphs.Run(g, smp, hubSeed, 1, 800)
+		fmt.Printf("%-10d %-22.2f %-22.2f\n", seedSize,
+			float64(thrRes.TargetCount)/float64(g.N()),
+			float64(smpRes.TargetCount)/float64(g.N()))
+	}
+	fmt.Println("\nthe irreversible threshold rule cascades from a handful of hubs, while the")
+	fmt.Println("reversible SMP-style rule lets the majority push back — the same contrast the")
+	fmt.Println("paper observes between target-set selection and its persuadable entities.")
+
+	// Greedy target set selection baseline.
+	seeds := graphs.GreedyTargetSet(g, threshold, 1, 2, 10, 400, 30, rng.New(5))
+	c := graphs.NewColoring(g.N(), 2)
+	for _, v := range seeds {
+		c.Set(v, 1)
+	}
+	res := graphs.Run(g, threshold, c, 1, 800)
+	fmt.Printf("\ngreedy TSS baseline: %d seeds activate %d/%d vertices\n", len(seeds), res.TargetCount, g.N())
+
+	// Bounded-confidence comparison (continuous opinions on the same graph).
+	deff, err := opinion.Run(g, opinion.DefaultParams(), rng.New(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nDeffuant bounded-confidence model on the same graph: %d opinion clusters after %d interactions (spread %.3f)\n",
+		deff.Clusters, deff.Steps, deff.Spread)
+	fmt.Println("discrete majority dynamics either freeze or go monochromatic; bounded confidence fragments into clusters.")
+}

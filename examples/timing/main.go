@@ -1,0 +1,98 @@
+// Timing: reproduce the paper's Figures 5 and 6 (per-vertex recoloring
+// times) and check the Theorem 7/8 convergence formulas on larger tori,
+// including the time-varying extension where links are intermittently
+// available.
+//
+// Run with:
+//
+//	go run ./examples/timing
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/analysis"
+	"repro/internal/ascii"
+	"repro/internal/color"
+	"repro/internal/core"
+	"repro/internal/dynamo"
+	"repro/internal/grid"
+	"repro/internal/rules"
+	"repro/internal/tvg"
+)
+
+func main() {
+	// Figures 5 and 6.
+	for _, fig := range []int{5, 6} {
+		out, err := core.Figure(fig)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(out)
+	}
+
+	// Theorem 7 on growing square meshes.
+	fmt.Println(ascii.Banner("Theorem 7 check: full-cross convergence time on square meshes"))
+	fmt.Printf("%-8s %-12s %-10s\n", "size", "formula", "measured")
+	for _, size := range []int{5, 9, 13, 17, 25} {
+		cons, err := dynamo.FullCross(size, size, 1, color.MustPalette(5))
+		if err != nil {
+			log.Fatal(err)
+		}
+		v := dynamo.Verify(cons)
+		fmt.Printf("%-8s %-12d %-10d\n", fmt.Sprintf("%dx%d", size, size),
+			dynamo.PredictedRoundsMesh(grid.MustDims(size, size)), v.Rounds)
+	}
+
+	// Theorem 8 on the cordalis.
+	fmt.Println()
+	fmt.Println(ascii.Banner("Theorem 8 check: cordalis convergence time"))
+	fmt.Printf("%-8s %-12s %-10s\n", "size", "formula", "measured")
+	for _, size := range [][2]int{{5, 5}, {7, 5}, {9, 7}, {11, 9}} {
+		cons, err := dynamo.CordalisMinimum(size[0], size[1], 1, color.MustPalette(6))
+		if err != nil {
+			log.Fatal(err)
+		}
+		v := dynamo.Verify(cons)
+		fmt.Printf("%-8s %-12d %-10d\n", fmt.Sprintf("%dx%d", size[0], size[1]),
+			dynamo.PredictedRoundsSpiral(grid.MustDims(size[0], size[1])), v.Rounds)
+	}
+
+	// Slowdown under intermittent links (the conclusions' open problem).
+	fmt.Println()
+	fmt.Println(ascii.Banner("Slowdown of the 9x9 Theorem 2 dynamo under intermittent links"))
+	cons, err := dynamo.MeshMinimum(9, 9, 1, color.MustPalette(5))
+	if err != nil {
+		log.Fatal(err)
+	}
+	static := dynamo.Verify(cons)
+	fmt.Printf("static torus: %d rounds\n", static.Rounds)
+	for _, p := range []float64{0.99, 0.95, 0.9} {
+		wins, totalRounds := 0, 0
+		const runs = 5
+		for i := 0; i < runs; i++ {
+			res := tvg.Run(cons.Topology, tvg.Bernoulli{P: p, Seed: uint64(37 + i)}, rules.SMP{}, cons.Coloring, 4000)
+			if res.Monochromatic && res.FinalColor == 1 {
+				wins++
+				totalRounds += res.Rounds
+			}
+		}
+		avg := "-"
+		if wins > 0 {
+			avg = fmt.Sprintf("%d", totalRounds/wins)
+		}
+		fmt.Printf("availability %.2f: takeover in %d/%d runs, average %s rounds when it happens\n", p, wins, runs, avg)
+	}
+
+	// The exact measured matrix for a 7x7 minimum construction, for
+	// comparison against the figures' diagonal pattern.
+	fmt.Println()
+	fmt.Println(ascii.Banner("Recoloring times of the 7x7 Theorem 2 configuration"))
+	cons7, err := dynamo.MeshMinimum(7, 7, 1, color.MustPalette(5))
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, _ := analysis.TimingMatrix(cons7.Topology, cons7.Coloring, 1)
+	fmt.Print(ascii.IntMatrix(m))
+}

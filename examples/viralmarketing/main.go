@@ -1,0 +1,77 @@
+// Viral marketing: the scenario the paper's introduction opens with.  A
+// "brand" (color 1) wants to take over a population arranged on a torus by
+// word of mouth: how many initial adopters does it need, and where should
+// they sit?
+//
+// The example contrasts three seeding strategies on a 12x12 toroidal mesh:
+//
+//   - the paper's Theorem 2 seed (m+n-2 carefully placed adopters);
+//   - the same number of adopters placed uniformly at random;
+//   - a large "comb" seed (the Proposition 2 upper bound, about half the
+//     population) that works under any padding.
+//
+// Run with:
+//
+//	go run ./examples/viralmarketing
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/color"
+	"repro/internal/core"
+	"repro/internal/dynamo"
+	"repro/internal/grid"
+	"repro/internal/rng"
+)
+
+func main() {
+	const m, n, colors = 12, 12, 5
+	sys, err := core.NewSystem("toroidal-mesh", m, n, colors)
+	if err != nil {
+		log.Fatal(err)
+	}
+	brand := color.Color(1)
+
+	fmt.Printf("population: %d individuals on a %dx%d toroidal mesh, %d competing opinions\n",
+		m*n, m, n, colors)
+	fmt.Printf("paper lower bound for guaranteed (monotone) takeover: %d adopters\n\n", sys.LowerBound())
+
+	// Strategy 1: the paper's minimum construction.
+	cons, err := sys.MinimumDynamo(brand)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := sys.Verify(cons)
+	fmt.Printf("[theorem-2 seeding]  %d adopters -> takeover=%v in %d rounds (monotone=%v)\n",
+		cons.SeedSize(), rep.IsDynamo, rep.Rounds, rep.Monotone)
+
+	// Strategy 2: the same budget, placed at random (averaged over trials).
+	src := rng.New(2024)
+	trials, wins := 20, 0
+	for i := 0; i < trials; i++ {
+		random := dynamo.RandomSeedColoring(sys.Topology, cons.SeedSize(), brand, sys.Palette,
+			func(b int) int { return src.Intn(b) })
+		if sys.VerifyColoring(random, brand).IsDynamo {
+			wins++
+		}
+	}
+	fmt.Printf("[random seeding]     %d adopters -> takeover in %d/%d trials\n",
+		cons.SeedSize(), wins, trials)
+
+	// Strategy 3: the comb upper bound (works regardless of how the rest of
+	// the population is colored, but needs ~half the population).
+	comb, err := dynamo.CombUpperBound(grid.KindToroidalMesh, m, n, brand, sys.Palette)
+	if err != nil {
+		log.Fatal(err)
+	}
+	combRep := sys.Verify(comb)
+	fmt.Printf("[comb seeding]       %d adopters -> takeover=%v in %d rounds\n\n",
+		comb.SeedSize(), combRep.IsDynamo, combRep.Rounds)
+
+	fmt.Println("conclusion: placement matters far more than budget — the structured")
+	fmt.Printf("seed of %d adopters always wins, random placement of the same budget almost\n", cons.SeedSize())
+	fmt.Printf("never does, and the placement-agnostic guarantee costs %dx more adopters.\n",
+		comb.SeedSize()/cons.SeedSize())
+}

@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// ExportFormat selects the on-disk representation used by Export.
+type ExportFormat string
+
+const (
+	// FormatText is the aligned-column text produced by Table.Render.
+	FormatText ExportFormat = "txt"
+	// FormatCSV is comma-separated values.
+	FormatCSV ExportFormat = "csv"
+	// FormatMarkdown is a GitHub-flavoured markdown table.
+	FormatMarkdown ExportFormat = "md"
+)
+
+// render returns the table in the requested format.
+func render(t *Table, format ExportFormat) (string, error) {
+	switch format {
+	case FormatText, "":
+		return t.Render(), nil
+	case FormatCSV:
+		return t.CSV(), nil
+	case FormatMarkdown:
+		return t.Markdown(), nil
+	default:
+		return "", fmt.Errorf("analysis: unknown export format %q", format)
+	}
+}
+
+// Export runs the given experiments and writes one file per experiment into
+// dir (created if missing), named "<id>-<slug>.<format>".  It returns the
+// list of files written.
+func Export(dir string, experiments []Experiment, format ExportFormat) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("analysis: creating %s: %w", dir, err)
+	}
+	var written []string
+	for _, e := range experiments {
+		table := e.Run()
+		content, err := render(table, format)
+		if err != nil {
+			return written, err
+		}
+		ext := string(format)
+		if ext == "" {
+			ext = string(FormatText)
+		}
+		name := fmt.Sprintf("%s-%s.%s", strings.ToLower(e.ID), slug(e.Title), ext)
+		path := filepath.Join(dir, name)
+		header := fmt.Sprintf("%s  %s\npaper: %s\n\n", e.ID, e.Title, e.Paper)
+		if err := os.WriteFile(path, []byte(header+content), 0o644); err != nil {
+			return written, fmt.Errorf("analysis: writing %s: %w", path, err)
+		}
+		written = append(written, path)
+	}
+	return written, nil
+}
+
+// slug converts a title into a short file-name-safe fragment.
+func slug(title string) string {
+	var b strings.Builder
+	lastDash := true
+	for _, r := range strings.ToLower(title) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+			lastDash = false
+		default:
+			if !lastDash {
+				b.WriteByte('-')
+				lastDash = true
+			}
+		}
+		if b.Len() >= 40 {
+			break
+		}
+	}
+	return strings.Trim(b.String(), "-")
+}

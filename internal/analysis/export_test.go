@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSlug(t *testing.T) {
+	cases := map[string]string{
+		"Figure 5: 5x5 mesh recoloring-time matrix": "figure-5-5x5-mesh-recoloring-time-matrix",
+		"  weird___chars!!":                         "weird-chars",
+		"ALL CAPS":                                  "all-caps",
+	}
+	for in, want := range cases {
+		if got := slug(in); got != want {
+			t.Errorf("slug(%q) = %q, want %q", in, got, want)
+		}
+	}
+	if len(slug(strings.Repeat("very long title ", 20))) > 41 {
+		t.Error("slug should be truncated")
+	}
+}
+
+func TestRenderFormats(t *testing.T) {
+	tbl := NewTable("t", "a", "b")
+	tbl.AddRow("1", "2")
+	for _, f := range []ExportFormat{FormatText, FormatCSV, FormatMarkdown, ""} {
+		out, err := render(tbl, f)
+		if err != nil || out == "" {
+			t.Errorf("render(%q) failed: %v", f, err)
+		}
+	}
+	if _, err := render(tbl, "yaml"); err == nil {
+		t.Error("unknown format should be rejected")
+	}
+}
+
+func TestExportWritesFiles(t *testing.T) {
+	dir := t.TempDir()
+	// Use the two cheapest experiments to keep the test fast.
+	var exps []Experiment
+	for _, id := range []string{"E02", "E09"} {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatal("missing experiment")
+		}
+		exps = append(exps, e)
+	}
+	files, err := Export(dir, exps, FormatCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 2 {
+		t.Fatalf("expected 2 files, got %v", files)
+	}
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(data), "paper:") {
+			t.Errorf("file %s missing header", f)
+		}
+		if filepath.Ext(f) != ".csv" {
+			t.Errorf("unexpected extension for %s", f)
+		}
+	}
+}
+
+func TestExportCreatesDirectory(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "nested", "out")
+	e, _ := ByID("E02")
+	if _, err := Export(dir, []Experiment{e}, FormatText); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(dir); err != nil {
+		t.Errorf("directory not created: %v", err)
+	}
+}
+
+func TestExportRejectsBadFormat(t *testing.T) {
+	e, _ := ByID("E02")
+	if _, err := Export(t.TempDir(), []Experiment{e}, "yaml"); err == nil {
+		t.Error("bad format should fail")
+	}
+}

@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/color"
+	"repro/internal/dynamo"
+	"repro/internal/grid"
+)
+
+// Point is one parameter combination of a sweep.
+type Point struct {
+	// Kind is the torus topology.
+	Kind grid.Kind
+	// M, N are the torus dimensions.
+	M, N int
+	// Colors is the palette size |C|.
+	Colors int
+}
+
+// Record is the outcome of running a tight construction and its
+// verification at one sweep point.
+type Record struct {
+	Point Point
+	// Construction is the construction name, or "error: …" when it could
+	// not be built.
+	Construction string
+	// SeedSize is |Sk|.
+	SeedSize int
+	// LowerBound is the paper's lower bound for the topology and size.
+	LowerBound int
+	// ConditionsOK reports whether the tight-padding hypotheses hold.
+	ConditionsOK bool
+	// IsDynamo and Monotone are the simulation-backed judgements.
+	IsDynamo bool
+	Monotone bool
+	// Rounds is the measured convergence time; Predicted is the paper
+	// formula (Theorem 7 or 8).
+	Rounds    int
+	Predicted int
+	// Err holds the construction error, if any.
+	Err error
+}
+
+// RunPoint builds the minimum construction for the point and verifies it.
+func RunPoint(p Point) Record {
+	rec := Record{
+		Point:      p,
+		LowerBound: dynamo.LowerBound(p.Kind, grid.MustDims(p.M, p.N)),
+		Predicted:  dynamo.PredictedRounds(p.Kind, grid.MustDims(p.M, p.N)),
+	}
+	c, err := dynamo.Minimum(p.Kind, p.M, p.N, 1, color.MustPalette(p.Colors))
+	if err != nil {
+		rec.Err = err
+		rec.Construction = "error"
+		return rec
+	}
+	rec.Construction = c.Name
+	rec.SeedSize = c.SeedSize()
+	rec.ConditionsOK = dynamo.CheckTheoremConditions(c) == nil
+	v := dynamo.Verify(c)
+	rec.IsDynamo = v.IsDynamo
+	rec.Monotone = v.Monotone
+	rec.Rounds = v.Rounds
+	return rec
+}
+
+// Sweep runs fn over every point, spreading the work over `workers`
+// goroutines (GOMAXPROCS when workers <= 0).  The result order matches the
+// input order.
+func Sweep(points []Point, workers int, fn func(Point) Record) []Record {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(points) {
+		workers = len(points)
+	}
+	out := make([]Record, len(points))
+	if workers <= 1 {
+		for i, p := range points {
+			out[i] = fn(p)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i] = fn(points[i])
+			}
+		}()
+	}
+	for i := range points {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}
+
+// GridPoints builds the cross product of sizes (given as [m, n] pairs) and
+// palette sizes for one topology.
+func GridPoints(kind grid.Kind, sizes [][2]int, palettes []int) []Point {
+	var out []Point
+	for _, s := range sizes {
+		for _, k := range palettes {
+			out = append(out, Point{Kind: kind, M: s[0], N: s[1], Colors: k})
+		}
+	}
+	return out
+}
+
+// DefaultSizes is the size sweep used by the experiment tables: small
+// enough to run in seconds, large enough to show the asymptotic shape.
+func DefaultSizes() [][2]int {
+	return [][2]int{{4, 4}, {5, 5}, {6, 6}, {7, 7}, {8, 8}, {9, 9}, {12, 12}, {16, 16}, {6, 9}, {9, 6}, {7, 12}, {16, 8}}
+}

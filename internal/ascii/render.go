@@ -1,0 +1,143 @@
+// Package ascii renders colorings and integer matrices as fixed-width text.
+// It is how the repository regenerates the paper's figures: Figures 1-4 are
+// colorings, Figures 5-6 are matrices of recoloring times.
+package ascii
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/color"
+)
+
+// Coloring renders a coloring as a bordered grid, one rune per cell, with a
+// legend listing the colors in use.  The highlight color (if non-zero) is
+// rendered as 'B' to match the paper's black-node figures.
+func Coloring(c *color.Coloring, highlight color.Color) string {
+	d := c.Dims()
+	var b strings.Builder
+	border := "+" + strings.Repeat("-", d.Cols) + "+\n"
+	b.WriteString(border)
+	for i := 0; i < d.Rows; i++ {
+		b.WriteByte('|')
+		for j := 0; j < d.Cols; j++ {
+			col := c.AtRC(i, j)
+			if highlight != color.None && col == highlight {
+				b.WriteByte('B')
+			} else {
+				b.WriteRune(col.Rune())
+			}
+		}
+		b.WriteString("|\n")
+	}
+	b.WriteString(border)
+	b.WriteString(legend(c, highlight))
+	return b.String()
+}
+
+func legend(c *color.Coloring, highlight color.Color) string {
+	counts := c.Counts()
+	if len(counts) == 0 {
+		return ""
+	}
+	maxColor := c.MaxColor()
+	var parts []string
+	for col := color.Color(0); col <= maxColor; col++ {
+		n, ok := counts[col]
+		if !ok {
+			continue
+		}
+		label := string(col.Rune())
+		if highlight != color.None && col == highlight {
+			label = "B"
+		}
+		parts = append(parts, fmt.Sprintf("%s=color %d (%d)", label, int(col), n))
+	}
+	return "legend: " + strings.Join(parts, ", ") + "\n"
+}
+
+// IntMatrix renders a matrix of small integers with aligned columns, in the
+// style of the paper's Figures 5 and 6 (each entry is the number of rounds
+// after which the vertex assumes color k; -1 entries render as "·" meaning
+// "never").
+func IntMatrix(m [][]int) string {
+	if len(m) == 0 {
+		return ""
+	}
+	width := 1
+	for _, row := range m {
+		for _, v := range row {
+			w := len(cell(v))
+			if w > width {
+				width = w
+			}
+		}
+	}
+	var b strings.Builder
+	for _, row := range m {
+		for j, v := range row {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(pad(cell(v), width))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func cell(v int) string {
+	if v < 0 {
+		return "·"
+	}
+	return fmt.Sprintf("%d", v)
+}
+
+func pad(s string, width int) string {
+	// Account for the multi-byte middle dot when padding.
+	visible := len([]rune(s))
+	if visible >= width {
+		return s
+	}
+	return strings.Repeat(" ", width-visible) + s
+}
+
+// SideBySide joins two multi-line blocks horizontally with a gutter, row by
+// row, padding the shorter block with blank lines.  It is used to print
+// "paper vs measured" figure comparisons.
+func SideBySide(left, right string, gutter string) string {
+	ll := strings.Split(strings.TrimRight(left, "\n"), "\n")
+	rl := strings.Split(strings.TrimRight(right, "\n"), "\n")
+	width := 0
+	for _, l := range ll {
+		if n := len([]rune(l)); n > width {
+			width = n
+		}
+	}
+	rows := len(ll)
+	if len(rl) > rows {
+		rows = len(rl)
+	}
+	var b strings.Builder
+	for i := 0; i < rows; i++ {
+		var l, r string
+		if i < len(ll) {
+			l = ll[i]
+		}
+		if i < len(rl) {
+			r = rl[i]
+		}
+		b.WriteString(l)
+		b.WriteString(strings.Repeat(" ", width-len([]rune(l))))
+		b.WriteString(gutter)
+		b.WriteString(r)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Banner renders a section header used by the command-line tools.
+func Banner(title string) string {
+	line := strings.Repeat("=", len(title)+4)
+	return fmt.Sprintf("%s\n| %s |\n%s\n", line, title, line)
+}

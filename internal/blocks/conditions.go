@@ -1,0 +1,88 @@
+package blocks
+
+import (
+	"fmt"
+
+	"repro/internal/color"
+	"repro/internal/grid"
+)
+
+// CheckTightPadding verifies the hypotheses that Theorems 2, 4 and 6 impose
+// on the colors outside the dynamo seed Sk:
+//
+//  1. for every color k' != k, the k'-colored vertices induce a forest;
+//  2. for every k'-colored vertex x, the neighbors of x whose color is
+//     neither k' nor k carry pairwise different colors.
+//
+// It returns nil when both conditions hold and a descriptive error naming
+// the first violated condition otherwise.
+func CheckTightPadding(topo grid.Topology, c *color.Coloring, k color.Color) error {
+	counts := c.Counts()
+	for col := range counts {
+		if col == color.None {
+			return fmt.Errorf("blocks: vertex with unset color present")
+		}
+		if col == k {
+			continue
+		}
+		if !IsForest(topo, c, col) {
+			return fmt.Errorf("blocks: color class %v is not a forest", col)
+		}
+	}
+	d := c.Dims()
+	var buf [grid.Degree]int
+	for v := 0; v < c.N(); v++ {
+		own := c.At(v)
+		if own == k {
+			continue
+		}
+		seen := make(map[color.Color]bool, grid.Degree)
+		for _, u := range topo.Neighbors(v, buf[:0]) {
+			cu := c.At(u)
+			if cu == k || cu == own {
+				continue
+			}
+			if seen[cu] {
+				return fmt.Errorf("blocks: vertex %v (color %v) has two neighbors of color %v",
+					d.Coord(v), own, cu)
+			}
+			seen[cu] = true
+		}
+	}
+	return nil
+}
+
+// CheckMonotoneDynamoNecessaryConditions verifies the necessary conditions
+// of Lemma 2 and Theorem 1 for a set Sk (the k-colored vertices of the
+// coloring) to be a monotone dynamo:
+//
+//   - Sk is a union of k-blocks (every k-colored vertex belongs to a
+//     k-block);
+//   - the complement contains no non-k-block;
+//   - the bounding rectangle of Sk spans at least (m-1) rows and (n-1)
+//     columns.
+//
+// It returns nil when all conditions hold.
+func CheckMonotoneDynamoNecessaryConditions(topo grid.Topology, c *color.Coloring, k color.Color) error {
+	d := topo.Dims()
+	inBlock := make([]bool, c.N())
+	for _, block := range KBlocks(topo, c, k) {
+		for _, v := range block {
+			inBlock[v] = true
+		}
+	}
+	for v := 0; v < c.N(); v++ {
+		if c.At(v) == k && !inBlock[v] {
+			return fmt.Errorf("blocks: k-colored vertex %v belongs to no k-block (violates Lemma 2)", d.Coord(v))
+		}
+	}
+	if HasNonKBlock(topo, c, k) {
+		return fmt.Errorf("blocks: the complement of Sk contains a non-k-block (violates Lemma 2)")
+	}
+	rows, cols := c.BoundingRectangle(k)
+	if rows < d.Rows-1 || cols < d.Cols-1 {
+		return fmt.Errorf("blocks: bounding rectangle of Sk is %dx%d, need at least %dx%d (violates Lemma 1)",
+			rows, cols, d.Rows-1, d.Cols-1)
+	}
+	return nil
+}

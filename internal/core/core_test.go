@@ -1,0 +1,132 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewSystemValidation(t *testing.T) {
+	if _, err := NewSystem("hypercube", 5, 5, 4); err == nil {
+		t.Error("unknown topology should be rejected")
+	}
+	if _, err := NewSystem("mesh", 1, 5, 4); err == nil {
+		t.Error("bad dimensions should be rejected")
+	}
+	if _, err := NewSystem("mesh", 5, 5, 0); err == nil {
+		t.Error("empty palette should be rejected")
+	}
+	sys, err := NewSystem("mesh", 5, 5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Rule.Name() != "smp" {
+		t.Error("default rule should be SMP")
+	}
+}
+
+func TestWithRule(t *testing.T) {
+	sys, _ := NewSystem("mesh", 5, 5, 4)
+	pb, err := sys.WithRule("pb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pb.Rule.Name() != "simple-majority-pb" {
+		t.Errorf("rule = %q", pb.Rule.Name())
+	}
+	if sys.Rule.Name() != "smp" {
+		t.Error("WithRule must not mutate the original system")
+	}
+	if _, err := sys.WithRule("nope"); err == nil {
+		t.Error("unknown rule should be rejected")
+	}
+}
+
+func TestMinimumDynamoEndToEnd(t *testing.T) {
+	for _, topology := range []string{"mesh", "cordalis", "serpentinus"} {
+		sys, err := NewSystem(topology, 9, 9, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cons, err := sys.MinimumDynamo(1)
+		if err != nil {
+			t.Fatalf("%s: %v", topology, err)
+		}
+		if cons.SeedSize() != sys.LowerBound() {
+			t.Errorf("%s: seed %d != lower bound %d", topology, cons.SeedSize(), sys.LowerBound())
+		}
+		rep := sys.Verify(cons)
+		if !rep.IsDynamo || !rep.Monotone || !rep.ConditionsOK {
+			t.Errorf("%s: report %+v", topology, rep)
+		}
+		if !strings.Contains(rep.Summary(), "monochromatic after") {
+			t.Errorf("%s: summary %q", topology, rep.Summary())
+		}
+	}
+}
+
+func TestSimulateAndVerifyColoring(t *testing.T) {
+	sys, _ := NewSystem("mesh", 8, 8, 4)
+	initial := sys.RandomColoring(7)
+	res := sys.Simulate(initial, 1)
+	if res.Rounds == 0 {
+		t.Error("simulation ran zero rounds")
+	}
+	rep := sys.VerifyColoring(initial, 1)
+	if rep.SeedSize != initial.Count(1) {
+		t.Error("seed size mismatch")
+	}
+	if rep.IsDynamo {
+		if !strings.Contains(rep.Summary(), "monochromatic after") {
+			t.Error("summary should mention convergence")
+		}
+	} else if !strings.Contains(rep.Summary(), "did NOT") {
+		t.Error("summary should mention non-convergence")
+	}
+}
+
+func TestPredictedRounds(t *testing.T) {
+	sys, _ := NewSystem("mesh", 5, 5, 5)
+	if sys.PredictedRounds() != 3 {
+		t.Errorf("PredictedRounds = %d, want 3", sys.PredictedRounds())
+	}
+	sys, _ = NewSystem("cordalis", 5, 5, 5)
+	if sys.PredictedRounds() != 8 {
+		t.Errorf("PredictedRounds = %d, want 8", sys.PredictedRounds())
+	}
+}
+
+func TestTimingMatrixRendering(t *testing.T) {
+	sys, _ := NewSystem("mesh", 5, 5, 5)
+	cons, err := sys.MinimumDynamo(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, rendered := sys.TimingMatrix(cons.Coloring, 1)
+	if len(m) != 5 || len(m[0]) != 5 {
+		t.Fatal("matrix shape wrong")
+	}
+	if rendered == "" || !strings.Contains(rendered, "0") {
+		t.Error("rendering looks empty")
+	}
+}
+
+func TestExperimentsIndex(t *testing.T) {
+	if len(Experiments()) != 18 {
+		t.Errorf("expected 18 experiments, got %d", len(Experiments()))
+	}
+}
+
+func TestFigures(t *testing.T) {
+	for fig := 1; fig <= 6; fig++ {
+		out, err := Figure(fig)
+		if err != nil {
+			t.Fatalf("figure %d: %v", fig, err)
+		}
+		if !strings.Contains(out, "Figure") || len(out) < 50 {
+			t.Errorf("figure %d rendering looks wrong:\n%s", fig, out)
+		}
+	}
+	if _, err := Figure(7); err == nil {
+		t.Error("figure 7 should not exist")
+	}
+}

@@ -1,0 +1,75 @@
+// Package dynamo implements the paper's core contribution: minimum-size
+// dynamic monopolies (dynamos) for multicolored tori under the SMP-Protocol.
+//
+// The package provides
+//
+//   - the lower bounds of Theorems 1, 3 and 5 and the color requirement of
+//     Proposition 3 (bounds.go);
+//   - the tight constructions of Theorems 2, 4 and 6, the full-cross
+//     configuration behind Figure 5, the comb-shaped upper-bound dynamo
+//     derived from Proposition 2, and the small-torus constructions of
+//     Proposition 3 (construct.go);
+//   - padding generators that color the vertices outside the seed so that
+//     the theorems' hypotheses hold (padding.go);
+//   - counterexample configurations in the spirit of Figures 3 and 4
+//     (counterexample.go);
+//   - the round-count predictions of Theorems 7 and 8 (rounds.go);
+//   - simulation-backed verification of the dynamo and monotonicity
+//     properties (verify.go).
+package dynamo
+
+import (
+	"fmt"
+
+	"repro/internal/grid"
+)
+
+// LowerBound returns the paper's lower bound on the size of a monotone
+// dynamo for the given topology and size:
+//
+//	toroidal mesh      |Sk| >= m + n - 2   (Theorem 1)
+//	torus cordalis     |Sk| >= n + 1       (Theorem 3)
+//	torus serpentinus  |Sk| >= min(m,n)+1  (Theorem 5)
+func LowerBound(kind grid.Kind, dims grid.Dims) int {
+	switch kind {
+	case grid.KindToroidalMesh:
+		return dims.Rows + dims.Cols - 2
+	case grid.KindTorusCordalis:
+		return dims.Cols + 1
+	case grid.KindTorusSerpentinus:
+		return dims.Min() + 1
+	default:
+		panic(fmt.Sprintf("dynamo: unknown topology kind %v", kind))
+	}
+}
+
+// MinColorsForMinimumDynamo returns the number of colors the paper's results
+// associate with the existence of a minimum-size dynamo on an m×n torus:
+// Proposition 3 links |C| to N = min(m,n) for N <= 3, and the Theorem 2
+// construction uses four colors for larger tori.
+//
+//	N = 1  ->  1 color  (the torus is already a single row/column)
+//	N = 2  ->  2 colors suffice only at size m+1; 3 colors allow size m
+//	N = 3  ->  3 colors
+//	N >= 4 ->  4 colors
+//
+// The returned value is the number of colors used by this repository's
+// constructions (3 for N ∈ {2,3}, 4 otherwise).
+func MinColorsForMinimumDynamo(dims grid.Dims) int {
+	n := dims.Min()
+	switch {
+	case n <= 1:
+		return 1
+	case n == 2, n == 3:
+		return 3
+	default:
+		return 4
+	}
+}
+
+// SeedSizeOfConstruction returns the seed size used by the tight
+// constructions in this package, which matches LowerBound for every
+// topology.
+func SeedSizeOfConstruction(kind grid.Kind, dims grid.Dims) int {
+	return LowerBound(kind, dims)
+}

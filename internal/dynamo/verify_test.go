@@ -1,0 +1,132 @@
+package dynamo
+
+import (
+	"testing"
+
+	"repro/internal/color"
+	"repro/internal/grid"
+	"repro/internal/rng"
+	"repro/internal/rules"
+)
+
+func TestVerifyColoringOnMonochromaticInput(t *testing.T) {
+	topo := grid.MustNew(grid.KindToroidalMesh, 5, 5)
+	c := color.NewColoring(topo.Dims(), 3)
+	v := VerifyColoring(topo, c, 3)
+	if !v.IsDynamo || !v.Monotone {
+		t.Error("a monochromatic configuration is trivially a dynamo")
+	}
+	if v.SeedSize != 25 {
+		t.Errorf("seed size = %d, want 25", v.SeedSize)
+	}
+	// For a different target it is not a dynamo.
+	if VerifyColoring(topo, c, 1).IsDynamo {
+		t.Error("monochromatic in color 3 is not a dynamo for color 1")
+	}
+}
+
+func TestVerifyReportsRounds(t *testing.T) {
+	c, err := FullCross(7, 7, 1, pal(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := Verify(c)
+	if v.Rounds != 5 { // Theorem 7 for 7x7
+		t.Errorf("rounds = %d, want 5", v.Rounds)
+	}
+	if v.SeedSize != 13 {
+		t.Errorf("seed size = %d, want 13", v.SeedSize)
+	}
+}
+
+func TestVerifyUnderRuleDiffersBetweenRules(t *testing.T) {
+	// Remark 1 / the paper's tie discussion: a two-color cross on a 4x4
+	// torus takes over under Prefer-Black (ties recolor to black) but stalls
+	// under SMP (ties keep the current color), because with only two colors
+	// every interior vertex eventually faces a 2-2 tie.
+	topo := grid.MustNew(grid.KindToroidalMesh, 4, 4)
+	c := color.NewColoring(topo.Dims(), 2)
+	c.FillRow(0, 1)
+	c.FillCol(0, 1)
+	pb := VerifyUnderRule(topo, c, 1, rules.SimpleMajorityPB{Black: 1})
+	smp := VerifyUnderRule(topo, c, 1, rules.SMP{})
+	if !pb.IsDynamo {
+		t.Error("the two-color cross should be a dynamo under Prefer-Black")
+	}
+	if smp.IsDynamo {
+		t.Error("the two-color cross should NOT be a dynamo under SMP (2-2 ties freeze)")
+	}
+}
+
+func TestCheckTheoremConditionsDetectsViolations(t *testing.T) {
+	c, err := MeshMinimum(6, 6, 1, pal(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckTheoremConditions(c); err != nil {
+		t.Fatalf("valid construction rejected: %v", err)
+	}
+	// Sabotage the padding: give two neighbors of a vertex the same color.
+	bad := &Construction{
+		Name:     c.Name,
+		Topology: c.Topology,
+		Target:   c.Target,
+		Palette:  c.Palette,
+		Seed:     c.Seed,
+		Coloring: c.Coloring.Clone(),
+	}
+	bad.Coloring.SetRC(3, 3, 2)
+	bad.Coloring.SetRC(3, 5, 2)
+	bad.Coloring.SetRC(3, 4, 4)
+	bad.Coloring.SetRC(2, 4, 3)
+	bad.Coloring.SetRC(4, 4, 5)
+	if err := CheckTheoremConditions(bad); err == nil {
+		t.Error("sabotaged padding should be rejected")
+	}
+	// Mismatched seed list.
+	bad2 := &Construction{
+		Name:     c.Name,
+		Topology: c.Topology,
+		Target:   c.Target,
+		Palette:  c.Palette,
+		Seed:     c.Seed[:len(c.Seed)-1],
+		Coloring: c.Coloring,
+	}
+	if err := CheckTheoremConditions(bad2); err == nil {
+		t.Error("seed list / coloring mismatch should be rejected")
+	}
+}
+
+func TestRandomSeedColoringProperties(t *testing.T) {
+	topo := grid.MustNew(grid.KindToroidalMesh, 8, 8)
+	src := rng.New(5)
+	c := RandomSeedColoring(topo, 10, 1, pal(4), func(n int) int { return src.Intn(n) })
+	if c.Count(1) != 10 {
+		t.Errorf("expected exactly 10 target-colored vertices, got %d", c.Count(1))
+	}
+	if err := c.Validate(pal(4)); err != nil {
+		t.Errorf("random coloring invalid: %v", err)
+	}
+	// Oversized request is clamped to the torus size.
+	c = RandomSeedColoring(topo, 1000, 1, pal(4), func(n int) int { return src.Intn(n) })
+	if c.Count(1) != 64 {
+		t.Errorf("oversized seed should cover the torus, got %d", c.Count(1))
+	}
+}
+
+func TestRandomSmallSeedsAreNotDynamos(t *testing.T) {
+	// Negative control for the lower-bound experiment: random seeds well
+	// below the Theorem 1 bound essentially never take over.
+	topo := grid.MustNew(grid.KindToroidalMesh, 8, 8)
+	src := rng.New(17)
+	wins := 0
+	for trial := 0; trial < 20; trial++ {
+		c := RandomSeedColoring(topo, 6, 1, pal(4), func(n int) int { return src.Intn(n) })
+		if VerifyColoring(topo, c, 1).IsDynamo {
+			wins++
+		}
+	}
+	if wins > 2 {
+		t.Errorf("%d/20 random 6-vertex seeds became dynamos; expected almost none", wins)
+	}
+}

@@ -1,0 +1,189 @@
+package graphs
+
+import (
+	"repro/internal/color"
+	"repro/internal/rng"
+	"repro/internal/rules"
+)
+
+// GeneralizedSMP extends the paper's SMP-Protocol to vertices of arbitrary
+// degree d: a vertex adopts a color when that color is held by at least
+// ⌈d/2⌉ of its neighbors and is the unique color attaining the maximum
+// multiplicity; otherwise it keeps its current color.  On 4-regular graphs
+// this coincides with the torus SMP rule for the 4+0, 3+1 and 2+1+1 patterns
+// and keeps the current color on 2+2 ties, matching Algorithm 1.
+type GeneralizedSMP struct{}
+
+// Name returns "generalized-smp".
+func (GeneralizedSMP) Name() string { return "generalized-smp" }
+
+// Next applies the rule to a neighborhood of arbitrary size.
+func (GeneralizedSMP) Next(current color.Color, neighbors []color.Color) color.Color {
+	if len(neighbors) == 0 {
+		return current
+	}
+	counts := map[color.Color]int{}
+	for _, c := range neighbors {
+		counts[c]++
+	}
+	best, bestCount, unique := color.None, 0, false
+	for c, n := range counts {
+		switch {
+		case n > bestCount:
+			best, bestCount, unique = c, n, true
+		case n == bestCount:
+			unique = false
+		}
+	}
+	need := (len(neighbors) + 1) / 2
+	if unique && bestCount >= need {
+		return best
+	}
+	return current
+}
+
+// RunResult describes a finished run of a rule over a general graph.
+type RunResult struct {
+	// Rounds executed (bounded by the caller's budget).
+	Rounds int
+	// FixedPoint reports that the last round changed nothing.
+	FixedPoint bool
+	// Final is the final coloring.
+	Final *Coloring
+	// TargetCount is the number of vertices holding the target color at the
+	// end (0 if no target was supplied).
+	TargetCount int
+}
+
+// Run evolves the coloring synchronously under the rule for at most
+// maxRounds rounds, stopping early at a fixed point.
+func Run(g *Graph, rule rules.Rule, initial *Coloring, target color.Color, maxRounds int) *RunResult {
+	if maxRounds <= 0 {
+		maxRounds = 4*g.N() + 16
+	}
+	cur := initial.Clone()
+	next := initial.Clone()
+	res := &RunResult{}
+	scratch := make([]color.Color, 0, g.MaxDegree())
+	for round := 1; round <= maxRounds; round++ {
+		changed := 0
+		for v := 0; v < g.N(); v++ {
+			scratch = scratch[:0]
+			for _, u := range g.Neighbors(v) {
+				scratch = append(scratch, cur.At(u))
+			}
+			nc := rule.Next(cur.At(v), scratch)
+			next.Set(v, nc)
+			if nc != cur.At(v) {
+				changed++
+			}
+		}
+		res.Rounds = round
+		cur, next = next, cur
+		if changed == 0 {
+			res.FixedPoint = true
+			break
+		}
+	}
+	res.Final = cur
+	if target != color.None {
+		res.TargetCount = cur.Count(target)
+	}
+	return res
+}
+
+// SeedTopByDegree returns a coloring in which the `size` highest-degree
+// vertices carry the target color and every other vertex carries background.
+// It is the classic degree heuristic for target set selection.
+func SeedTopByDegree(g *Graph, size int, target, background color.Color) *Coloring {
+	c := NewColoring(g.N(), background)
+	order := make([]int, g.N())
+	for i := range order {
+		order[i] = i
+	}
+	// Selection sort of the top `size` degrees keeps the package free of
+	// sort-dependency noise for a tiny k.
+	for i := 0; i < size && i < len(order); i++ {
+		best := i
+		for j := i + 1; j < len(order); j++ {
+			if g.Degree(order[j]) > g.Degree(order[best]) {
+				best = j
+			}
+		}
+		order[i], order[best] = order[best], order[i]
+		c.Set(order[i], target)
+	}
+	return c
+}
+
+// SeedRandom returns a coloring in which `size` uniformly chosen vertices
+// carry the target color.
+func SeedRandom(g *Graph, size int, target, background color.Color, src *rng.Source) *Coloring {
+	if src == nil {
+		src = rng.New(1)
+	}
+	c := NewColoring(g.N(), background)
+	perm := src.Perm(g.N())
+	if size > len(perm) {
+		size = len(perm)
+	}
+	for _, v := range perm[:size] {
+		c.Set(v, target)
+	}
+	return c
+}
+
+// GreedyTargetSet is the simulation-driven greedy baseline from the target
+// set selection literature (in the spirit of Kempe–Kleinberg–Tardos): it
+// repeatedly adds to the seed the vertex whose activation most increases the
+// final number of target-colored vertices under the given rule, until the
+// whole graph activates or maxSeed vertices have been chosen.  It returns
+// the chosen seed vertices.
+//
+// The marginal gain is evaluated exactly (one simulation per candidate), so
+// the intended use is graphs of a few hundred vertices; candidateSample > 0
+// restricts each step to a random sample of that many candidates to keep
+// larger instances tractable.
+func GreedyTargetSet(g *Graph, rule rules.Rule, target, background color.Color, maxSeed, maxRounds, candidateSample int, src *rng.Source) []int {
+	if src == nil {
+		src = rng.New(1)
+	}
+	seed := map[int]bool{}
+	var chosen []int
+	evaluate := func() int {
+		c := NewColoring(g.N(), background)
+		for v := range seed {
+			c.Set(v, target)
+		}
+		return Run(g, rule, c, target, maxRounds).TargetCount
+	}
+	current := 0
+	for len(chosen) < maxSeed && current < g.N() {
+		candidates := make([]int, 0, g.N())
+		for v := 0; v < g.N(); v++ {
+			if !seed[v] {
+				candidates = append(candidates, v)
+			}
+		}
+		if candidateSample > 0 && candidateSample < len(candidates) {
+			src.Shuffle(len(candidates), func(i, j int) { candidates[i], candidates[j] = candidates[j], candidates[i] })
+			candidates = candidates[:candidateSample]
+		}
+		bestVertex, bestGain := -1, -1
+		for _, v := range candidates {
+			seed[v] = true
+			gain := evaluate()
+			delete(seed, v)
+			if gain > bestGain {
+				bestGain, bestVertex = gain, v
+			}
+		}
+		if bestVertex < 0 {
+			break
+		}
+		seed[bestVertex] = true
+		chosen = append(chosen, bestVertex)
+		current = bestGain
+	}
+	return chosen
+}

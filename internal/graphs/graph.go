@@ -1,0 +1,283 @@
+// Package graphs is the general-graph substrate for the extension study
+// sketched in the paper's conclusions: running SMP-style majority dynamics
+// and target-set-selection baselines on non-torus topologies such as
+// scale-free (Barabási–Albert) networks.
+package graphs
+
+import (
+	"fmt"
+
+	"repro/internal/color"
+	"repro/internal/grid"
+	"repro/internal/rng"
+)
+
+// Graph is a simple undirected graph stored as adjacency lists.
+type Graph struct {
+	adj [][]int
+}
+
+// NewGraph returns an empty graph with n vertices.
+func NewGraph(n int) *Graph {
+	if n < 0 {
+		panic("graphs: negative vertex count")
+	}
+	return &Graph{adj: make([][]int, n)}
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.adj) }
+
+// Degree returns the degree of vertex v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// Neighbors returns the adjacency list of v.  Callers must not modify it.
+func (g *Graph) Neighbors(v int) []int { return g.adj[v] }
+
+// HasEdge reports whether u and v are adjacent.
+func (g *Graph) HasEdge(u, v int) bool {
+	for _, w := range g.adj[u] {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// AddEdge inserts the undirected edge {u, v}.  Self-loops and duplicate
+// edges are ignored.
+func (g *Graph) AddEdge(u, v int) {
+	if u == v || u < 0 || v < 0 || u >= g.N() || v >= g.N() {
+		return
+	}
+	if g.HasEdge(u, v) {
+		return
+	}
+	g.adj[u] = append(g.adj[u], v)
+	g.adj[v] = append(g.adj[v], u)
+}
+
+// EdgeCount returns the number of undirected edges.
+func (g *Graph) EdgeCount() int {
+	total := 0
+	for _, ns := range g.adj {
+		total += len(ns)
+	}
+	return total / 2
+}
+
+// AverageDegree returns the mean vertex degree.
+func (g *Graph) AverageDegree() float64 {
+	if g.N() == 0 {
+		return 0
+	}
+	return 2 * float64(g.EdgeCount()) / float64(g.N())
+}
+
+// MaxDegree returns the largest vertex degree.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for _, ns := range g.adj {
+		if len(ns) > max {
+			max = len(ns)
+		}
+	}
+	return max
+}
+
+// Connected reports whether the graph is connected (vacuously true for the
+// empty graph).
+func (g *Graph) Connected() bool {
+	if g.N() == 0 {
+		return true
+	}
+	seen := make([]bool, g.N())
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, u := range g.adj[v] {
+			if !seen[u] {
+				seen[u] = true
+				count++
+				stack = append(stack, u)
+			}
+		}
+	}
+	return count == g.N()
+}
+
+// FromTorus converts a torus topology into a Graph so the general-graph
+// dynamics can be compared against the torus engine on identical inputs.
+func FromTorus(t grid.Topology) *Graph {
+	g := NewGraph(t.Dims().N())
+	for v := 0; v < g.N(); v++ {
+		for _, u := range grid.UniqueNeighbors(t, v) {
+			g.AddEdge(v, u)
+		}
+	}
+	return g
+}
+
+// NewRing returns the cycle graph on n >= 3 vertices.
+func NewRing(n int) (*Graph, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("graphs: ring needs at least 3 vertices, got %d", n)
+	}
+	g := NewGraph(n)
+	for v := 0; v < n; v++ {
+		g.AddEdge(v, (v+1)%n)
+	}
+	return g, nil
+}
+
+// NewBarabasiAlbert generates a scale-free graph with n vertices by
+// preferential attachment: starting from a clique on m0 = m+1 vertices,
+// every new vertex attaches to m existing vertices chosen with probability
+// proportional to their degree.
+func NewBarabasiAlbert(n, m int, src *rng.Source) (*Graph, error) {
+	if m < 1 || n <= m {
+		return nil, fmt.Errorf("graphs: Barabási–Albert requires 1 <= m < n, got n=%d m=%d", n, m)
+	}
+	if src == nil {
+		src = rng.New(1)
+	}
+	g := NewGraph(n)
+	// repeated holds every edge endpoint once per incidence, so picking a
+	// uniform element implements preferential attachment.
+	var repeated []int
+	for u := 0; u <= m; u++ {
+		for v := 0; v < u; v++ {
+			g.AddEdge(u, v)
+			repeated = append(repeated, u, v)
+		}
+	}
+	for v := m + 1; v < n; v++ {
+		chosen := make(map[int]bool, m)
+		for len(chosen) < m {
+			var candidate int
+			if len(repeated) == 0 {
+				candidate = src.Intn(v)
+			} else {
+				candidate = repeated[src.Intn(len(repeated))]
+			}
+			if candidate != v {
+				chosen[candidate] = true
+			}
+		}
+		for u := range chosen {
+			g.AddEdge(v, u)
+			repeated = append(repeated, v, u)
+		}
+	}
+	return g, nil
+}
+
+// NewErdosRenyi generates a G(n, p) random graph.
+func NewErdosRenyi(n int, p float64, src *rng.Source) (*Graph, error) {
+	if n < 1 || p < 0 || p > 1 {
+		return nil, fmt.Errorf("graphs: invalid Erdős–Rényi parameters n=%d p=%v", n, p)
+	}
+	if src == nil {
+		src = rng.New(1)
+	}
+	g := NewGraph(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if src.Float64() < p {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g, nil
+}
+
+// NewRandomRegular generates a d-regular graph on n vertices using the
+// pairing model with retries.  n*d must be even and d < n.
+func NewRandomRegular(n, d int, src *rng.Source) (*Graph, error) {
+	if d < 1 || d >= n || (n*d)%2 != 0 {
+		return nil, fmt.Errorf("graphs: invalid random-regular parameters n=%d d=%d", n, d)
+	}
+	if src == nil {
+		src = rng.New(1)
+	}
+	for attempt := 0; attempt < 200; attempt++ {
+		stubs := make([]int, 0, n*d)
+		for v := 0; v < n; v++ {
+			for i := 0; i < d; i++ {
+				stubs = append(stubs, v)
+			}
+		}
+		src.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+		g := NewGraph(n)
+		ok := true
+		for i := 0; i < len(stubs); i += 2 {
+			u, v := stubs[i], stubs[i+1]
+			if u == v || g.HasEdge(u, v) {
+				ok = false
+				break
+			}
+			g.AddEdge(u, v)
+		}
+		if ok {
+			return g, nil
+		}
+	}
+	return nil, fmt.Errorf("graphs: failed to build a %d-regular graph on %d vertices", d, n)
+}
+
+// Coloring is a color assignment over a graph's vertices.
+type Coloring struct {
+	cells []color.Color
+}
+
+// NewColoring returns a coloring of n vertices filled with fill.
+func NewColoring(n int, fill color.Color) *Coloring {
+	c := &Coloring{cells: make([]color.Color, n)}
+	for i := range c.cells {
+		c.cells[i] = fill
+	}
+	return c
+}
+
+// At returns the color of vertex v.
+func (c *Coloring) At(v int) color.Color { return c.cells[v] }
+
+// Set assigns a color to vertex v.
+func (c *Coloring) Set(v int, col color.Color) { c.cells[v] = col }
+
+// Count returns how many vertices carry col.
+func (c *Coloring) Count(col color.Color) int {
+	n := 0
+	for _, v := range c.cells {
+		if v == col {
+			n++
+		}
+	}
+	return n
+}
+
+// N returns the number of vertices.
+func (c *Coloring) N() int { return len(c.cells) }
+
+// Clone returns a deep copy.
+func (c *Coloring) Clone() *Coloring {
+	out := &Coloring{cells: make([]color.Color, len(c.cells))}
+	copy(out.cells, c.cells)
+	return out
+}
+
+// Equal reports whether two colorings agree everywhere.
+func (c *Coloring) Equal(o *Coloring) bool {
+	if len(c.cells) != len(o.cells) {
+		return false
+	}
+	for i := range c.cells {
+		if c.cells[i] != o.cells[i] {
+			return false
+		}
+	}
+	return true
+}

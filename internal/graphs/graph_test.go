@@ -1,0 +1,181 @@
+package graphs
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/grid"
+	"repro/internal/rng"
+)
+
+func TestAddEdgeBasics(t *testing.T) {
+	g := NewGraph(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0) // duplicate
+	g.AddEdge(2, 2) // self loop ignored
+	g.AddEdge(1, 9) // out of range ignored
+	if g.EdgeCount() != 1 {
+		t.Errorf("EdgeCount = %d, want 1", g.EdgeCount())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Error("edge should be symmetric")
+	}
+	if g.HasEdge(2, 3) {
+		t.Error("absent edge reported")
+	}
+	if g.Degree(0) != 1 || g.Degree(3) != 0 {
+		t.Error("degrees wrong")
+	}
+}
+
+func TestNewGraphPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewGraph(-1)
+}
+
+func TestRing(t *testing.T) {
+	g, err := NewRing(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.EdgeCount() != 6 || !g.Connected() {
+		t.Error("ring structure wrong")
+	}
+	for v := 0; v < 6; v++ {
+		if g.Degree(v) != 2 {
+			t.Errorf("ring vertex %d has degree %d", v, g.Degree(v))
+		}
+	}
+	if _, err := NewRing(2); err == nil {
+		t.Error("ring of 2 should be rejected")
+	}
+}
+
+func TestFromTorusMatchesTopology(t *testing.T) {
+	topo := grid.MustNew(grid.KindToroidalMesh, 5, 6)
+	g := FromTorus(topo)
+	if g.N() != 30 {
+		t.Fatalf("N = %d", g.N())
+	}
+	if g.EdgeCount() != 60 { // 4-regular simple graph
+		t.Errorf("EdgeCount = %d, want 60", g.EdgeCount())
+	}
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) != 4 {
+			t.Errorf("vertex %d degree %d", v, g.Degree(v))
+		}
+	}
+	if !g.Connected() {
+		t.Error("torus graph should be connected")
+	}
+}
+
+func TestBarabasiAlbert(t *testing.T) {
+	g, err := NewBarabasiAlbert(200, 3, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 200 {
+		t.Fatalf("N = %d", g.N())
+	}
+	if !g.Connected() {
+		t.Error("preferential attachment graph should be connected")
+	}
+	// Average degree approaches 2m; allow slack for the initial clique.
+	avg := g.AverageDegree()
+	if avg < 5 || avg > 8 {
+		t.Errorf("average degree = %v, expected around 6", avg)
+	}
+	// Scale-free graphs have hubs: the maximum degree should far exceed the
+	// average.
+	if float64(g.MaxDegree()) < 2.5*avg {
+		t.Errorf("max degree %d does not look like a hub (avg %.1f)", g.MaxDegree(), avg)
+	}
+	if _, err := NewBarabasiAlbert(5, 5, nil); err == nil {
+		t.Error("n <= m should be rejected")
+	}
+	if _, err := NewBarabasiAlbert(10, 0, nil); err == nil {
+		t.Error("m < 1 should be rejected")
+	}
+}
+
+func TestBarabasiAlbertDeterministic(t *testing.T) {
+	a, _ := NewBarabasiAlbert(100, 2, rng.New(5))
+	b, _ := NewBarabasiAlbert(100, 2, rng.New(5))
+	if a.EdgeCount() != b.EdgeCount() {
+		t.Error("same seed should give the same graph")
+	}
+}
+
+func TestErdosRenyi(t *testing.T) {
+	g, err := NewErdosRenyi(100, 0.1, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected edges ~ 0.1 * 4950 = 495.
+	if g.EdgeCount() < 350 || g.EdgeCount() > 650 {
+		t.Errorf("edge count %d far from expectation 495", g.EdgeCount())
+	}
+	if _, err := NewErdosRenyi(10, 1.5, nil); err == nil {
+		t.Error("p > 1 should be rejected")
+	}
+	empty, _ := NewErdosRenyi(10, 0, nil)
+	if empty.EdgeCount() != 0 {
+		t.Error("p = 0 should give no edges")
+	}
+}
+
+func TestRandomRegular(t *testing.T) {
+	g, err := NewRandomRegular(50, 4, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) != 4 {
+			t.Fatalf("vertex %d has degree %d, want 4", v, g.Degree(v))
+		}
+	}
+	if _, err := NewRandomRegular(5, 3, nil); err == nil {
+		t.Error("odd n*d should be rejected")
+	}
+	if _, err := NewRandomRegular(4, 4, nil); err == nil {
+		t.Error("d >= n should be rejected")
+	}
+}
+
+func TestColoringHelpers(t *testing.T) {
+	c := NewColoring(5, 2)
+	c.Set(3, 1)
+	if c.At(3) != 1 || c.Count(2) != 4 || c.Count(1) != 1 || c.N() != 5 {
+		t.Error("coloring helpers wrong")
+	}
+	d := c.Clone()
+	if !c.Equal(d) {
+		t.Error("clone should be equal")
+	}
+	d.Set(0, 1)
+	if c.Equal(d) {
+		t.Error("modified clone should differ")
+	}
+	if c.Equal(NewColoring(4, 2)) {
+		t.Error("different sizes should not be equal")
+	}
+}
+
+func TestConnectedProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := 10 + int(nRaw)%50
+		g, err := NewBarabasiAlbert(n, 2, rng.New(seed))
+		if err != nil {
+			return false
+		}
+		return g.Connected()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

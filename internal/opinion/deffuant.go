@@ -1,0 +1,147 @@
+// Package opinion implements the Deffuant–Weisbuch bounded-confidence model
+// ("Mixing beliefs among interacting agents"), the continuous-opinion
+// process the paper's conclusions propose as a comparison point for the
+// SMP-Protocol's discrete dynamics.
+package opinion
+
+import (
+	"fmt"
+
+	"repro/internal/graphs"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// Params configures a bounded-confidence simulation.
+type Params struct {
+	// Epsilon is the confidence bound: two agents interact only when their
+	// opinions differ by less than Epsilon.
+	Epsilon float64
+	// Mu is the convergence parameter in (0, 0.5]: after an interaction both
+	// opinions move toward each other by Mu times their difference.
+	Mu float64
+	// MaxSteps bounds the number of pairwise interactions.
+	MaxSteps int
+	// ConvergenceEps stops the run when the largest opinion change over a
+	// full sweep of interactions falls below this threshold.
+	ConvergenceEps float64
+}
+
+// DefaultParams returns the parameter set commonly used in the literature
+// (epsilon 0.2, mu 0.5).
+func DefaultParams() Params {
+	return Params{Epsilon: 0.2, Mu: 0.5, MaxSteps: 200000, ConvergenceEps: 1e-4}
+}
+
+// Result describes a finished bounded-confidence run.
+type Result struct {
+	// Steps is the number of pairwise interactions simulated.
+	Steps int
+	// Opinions is the final opinion vector.
+	Opinions []float64
+	// Clusters is the number of opinion clusters at the end (opinions closer
+	// than Epsilon/2 are grouped together).
+	Clusters int
+	// Spread is the standard deviation of the final opinions.
+	Spread float64
+}
+
+// Run simulates the model on the given graph: agents start with opinions
+// uniform in [0,1] (drawn from src) and repeatedly a random edge is chosen;
+// if the two endpoint opinions are within Epsilon they move toward each
+// other by Mu times the difference.
+func Run(g *graphs.Graph, p Params, src *rng.Source) (*Result, error) {
+	if g.N() == 0 {
+		return nil, fmt.Errorf("opinion: empty graph")
+	}
+	if p.Epsilon <= 0 || p.Mu <= 0 || p.Mu > 0.5 {
+		return nil, fmt.Errorf("opinion: invalid parameters %+v", p)
+	}
+	if p.MaxSteps <= 0 {
+		p.MaxSteps = 100 * g.N()
+	}
+	if src == nil {
+		src = rng.New(1)
+	}
+	// Collect the edge list once for uniform edge sampling.
+	var edges [][2]int
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Neighbors(u) {
+			if v > u {
+				edges = append(edges, [2]int{u, v})
+			}
+		}
+	}
+	if len(edges) == 0 {
+		return nil, fmt.Errorf("opinion: graph has no edges")
+	}
+
+	x := make([]float64, g.N())
+	for i := range x {
+		x[i] = src.Float64()
+	}
+	res := &Result{}
+	sinceChange := 0
+	for step := 1; step <= p.MaxSteps; step++ {
+		e := edges[src.Intn(len(edges))]
+		u, v := e[0], e[1]
+		diff := x[u] - x[v]
+		res.Steps = step
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff >= p.Epsilon {
+			sinceChange++
+		} else {
+			deltaU := p.Mu * (x[v] - x[u])
+			x[u] += deltaU
+			x[v] -= deltaU
+			if abs(deltaU) < p.ConvergenceEps {
+				sinceChange++
+			} else {
+				sinceChange = 0
+			}
+		}
+		// Stop after a long quiet period: a full sweep's worth of
+		// interactions without meaningful movement.
+		if sinceChange >= 4*len(edges) {
+			break
+		}
+	}
+	res.Opinions = x
+	res.Clusters = countClusters(x, p.Epsilon/2)
+	res.Spread = stats.Std(x)
+	return res, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// countClusters groups sorted opinions whose consecutive gaps are below tol
+// and returns the number of groups.
+func countClusters(opinions []float64, tol float64) int {
+	if len(opinions) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), opinions...)
+	insertionSort(sorted)
+	clusters := 1
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i]-sorted[i-1] > tol {
+			clusters++
+		}
+	}
+	return clusters
+}
+
+func insertionSort(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j-1] > xs[j]; j-- {
+			xs[j-1], xs[j] = xs[j], xs[j-1]
+		}
+	}
+}

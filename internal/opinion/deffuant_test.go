@@ -1,0 +1,111 @@
+package opinion
+
+import (
+	"testing"
+
+	"repro/internal/graphs"
+	"repro/internal/rng"
+)
+
+func TestRunConvergesToClusters(t *testing.T) {
+	g, err := graphs.NewErdosRenyi(120, 0.1, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(g, DefaultParams(), rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Opinions) != 120 {
+		t.Fatalf("opinion vector length %d", len(res.Opinions))
+	}
+	for _, x := range res.Opinions {
+		if x < 0 || x > 1 {
+			t.Fatalf("opinion %v escaped [0,1]", x)
+		}
+	}
+	if res.Clusters < 1 || res.Clusters > 20 {
+		t.Errorf("cluster count %d looks wrong", res.Clusters)
+	}
+	if res.Steps == 0 {
+		t.Error("no interactions simulated")
+	}
+}
+
+func TestLargeEpsilonYieldsConsensus(t *testing.T) {
+	g, _ := graphs.NewErdosRenyi(100, 0.15, rng.New(9))
+	p := DefaultParams()
+	p.Epsilon = 1.0 // everyone trusts everyone
+	p.MaxSteps = 400000
+	res, err := Run(g, p, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Clusters != 1 {
+		t.Errorf("full confidence should give a single cluster, got %d (spread %.3f)", res.Clusters, res.Spread)
+	}
+	if res.Spread > 0.1 {
+		t.Errorf("consensus spread too large: %v", res.Spread)
+	}
+}
+
+func TestSmallEpsilonYieldsFragmentation(t *testing.T) {
+	g, _ := graphs.NewErdosRenyi(100, 0.15, rng.New(9))
+	p := DefaultParams()
+	p.Epsilon = 0.05
+	res, err := Run(g, p, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Clusters < 2 {
+		t.Errorf("tiny confidence bound should fragment opinions, got %d clusters", res.Clusters)
+	}
+}
+
+func TestRunParameterValidation(t *testing.T) {
+	g, _ := graphs.NewRing(10)
+	if _, err := Run(g, Params{Epsilon: 0, Mu: 0.5, MaxSteps: 10}, nil); err == nil {
+		t.Error("epsilon 0 should be rejected")
+	}
+	if _, err := Run(g, Params{Epsilon: 0.2, Mu: 0.9, MaxSteps: 10}, nil); err == nil {
+		t.Error("mu > 0.5 should be rejected")
+	}
+	if _, err := Run(graphs.NewGraph(0), DefaultParams(), nil); err == nil {
+		t.Error("empty graph should be rejected")
+	}
+	if _, err := Run(graphs.NewGraph(5), DefaultParams(), nil); err == nil {
+		t.Error("edgeless graph should be rejected")
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	g, _ := graphs.NewBarabasiAlbert(80, 2, rng.New(4))
+	a, err := Run(g, DefaultParams(), rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(g, DefaultParams(), rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Steps != b.Steps || a.Clusters != b.Clusters {
+		t.Error("same seed should reproduce the run")
+	}
+	for i := range a.Opinions {
+		if a.Opinions[i] != b.Opinions[i] {
+			t.Fatal("opinion trajectories diverged")
+		}
+	}
+}
+
+func TestCountClusters(t *testing.T) {
+	if got := countClusters([]float64{0.1, 0.11, 0.5, 0.9}, 0.05); got != 3 {
+		t.Errorf("clusters = %d, want 3", got)
+	}
+	if got := countClusters(nil, 0.1); got != 0 {
+		t.Errorf("empty clusters = %d", got)
+	}
+	if got := countClusters([]float64{0.5}, 0.1); got != 1 {
+		t.Errorf("single opinion clusters = %d", got)
+	}
+}

@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"repro/internal/color"
+	"repro/internal/grid"
+	"repro/internal/rng"
+)
+
+// AsyncOrder selects the vertex activation order of the asynchronous
+// (sequential-scan) variant.
+type AsyncOrder int
+
+const (
+	// AsyncRaster activates vertices in row-major order each sweep.
+	AsyncRaster AsyncOrder = iota
+	// AsyncRandom activates vertices in a fresh random permutation each
+	// sweep (requires a Source).
+	AsyncRandom
+)
+
+// AsyncOptions controls RunAsync.
+type AsyncOptions struct {
+	// MaxSweeps bounds the number of full sweeps over the vertex set.  Zero
+	// selects DefaultMaxRounds.
+	MaxSweeps int
+	// Order selects the activation order.
+	Order AsyncOrder
+	// Source supplies randomness for AsyncRandom; it may be nil for
+	// AsyncRaster.
+	Source *rng.Source
+	// StopWhenMonochromatic stops as soon as all vertices agree.
+	StopWhenMonochromatic bool
+}
+
+// AsyncResult describes a finished asynchronous run.
+type AsyncResult struct {
+	// Sweeps is the number of full sweeps executed.
+	Sweeps int
+	// FixedPoint reports that the final sweep changed nothing.
+	FixedPoint bool
+	// Monochromatic reports a monochromatic final configuration of color
+	// FinalColor.
+	Monochromatic bool
+	FinalColor    color.Color
+	// Final is the final configuration.
+	Final *color.Coloring
+}
+
+// RunAsync evolves the initial coloring with in-place (asynchronous) updates:
+// each sweep visits every vertex once and immediately commits its new color,
+// so later vertices in the same sweep observe earlier updates.  The paper
+// analyses the synchronous model; the asynchronous variant is provided for
+// the robustness experiments suggested in its conclusions.
+func (e *Engine) RunAsync(initial *color.Coloring, opt AsyncOptions) *AsyncResult {
+	d := e.topo.Dims()
+	if initial.Dims() != d {
+		panic("sim: RunAsync dimension mismatch")
+	}
+	maxSweeps := opt.MaxSweeps
+	if maxSweeps <= 0 {
+		maxSweeps = DefaultMaxRounds(d)
+	}
+	if opt.Order == AsyncRandom && opt.Source == nil {
+		opt.Source = rng.New(1)
+	}
+
+	cur := initial.Clone()
+	cells := cur.Cells()
+	res := &AsyncResult{}
+	order := make([]int, d.N())
+	for i := range order {
+		order[i] = i
+	}
+
+	var scratch [grid.Degree]color.Color
+	for sweep := 1; sweep <= maxSweeps; sweep++ {
+		if opt.Order == AsyncRandom {
+			opt.Source.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		}
+		changed := 0
+		for _, v := range order {
+			base := v * grid.Degree
+			scratch[0] = cells[e.neighbors[base]]
+			scratch[1] = cells[e.neighbors[base+1]]
+			scratch[2] = cells[e.neighbors[base+2]]
+			scratch[3] = cells[e.neighbors[base+3]]
+			nc := e.rule.Next(cells[v], scratch[:])
+			if nc != cells[v] {
+				cells[v] = nc
+				changed++
+			}
+		}
+		res.Sweeps = sweep
+		if changed == 0 {
+			res.FixedPoint = true
+			break
+		}
+		if opt.StopWhenMonochromatic {
+			if _, ok := cur.IsMonochromatic(); ok {
+				break
+			}
+		}
+	}
+	res.Final = cur
+	res.FinalColor, res.Monochromatic = cur.IsMonochromatic()
+	return res
+}

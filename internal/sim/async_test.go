@@ -1,0 +1,89 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/color"
+	"repro/internal/grid"
+	"repro/internal/rng"
+	"repro/internal/rules"
+)
+
+func TestRunAsyncRasterConvergesOnCross(t *testing.T) {
+	topo := grid.MustNew(grid.KindToroidalMesh, 7, 7)
+	eng := NewEngine(topo, rules.SMP{})
+	res := eng.RunAsync(crossColoring(7, 7, 1), AsyncOptions{Order: AsyncRaster, StopWhenMonochromatic: true})
+	if !res.Monochromatic || res.FinalColor != 1 {
+		t.Fatalf("async raster run should converge to color 1: %+v", res)
+	}
+	// In-place raster sweeps propagate information faster than synchronous
+	// rounds, never slower.
+	sync := eng.Run(crossColoring(7, 7, 1), Options{StopWhenMonochromatic: true})
+	if res.Sweeps > sync.Rounds {
+		t.Errorf("async took %d sweeps, synchronous %d rounds", res.Sweeps, sync.Rounds)
+	}
+}
+
+func TestRunAsyncRandomOrderDeterministicWithSeed(t *testing.T) {
+	topo := grid.MustNew(grid.KindToroidalMesh, 6, 6)
+	eng := NewEngine(topo, rules.SMP{})
+	init := randomColoring(3, 6, 6, 4)
+	a := eng.RunAsync(init, AsyncOptions{Order: AsyncRandom, Source: rng.New(5), StopWhenMonochromatic: true})
+	b := eng.RunAsync(init, AsyncOptions{Order: AsyncRandom, Source: rng.New(5), StopWhenMonochromatic: true})
+	if !a.Final.Equal(b.Final) || a.Sweeps != b.Sweeps {
+		t.Error("same seed must give identical async runs")
+	}
+}
+
+func TestRunAsyncRandomWithoutSourceUsesDefault(t *testing.T) {
+	topo := grid.MustNew(grid.KindToroidalMesh, 5, 5)
+	eng := NewEngine(topo, rules.SMP{})
+	res := eng.RunAsync(crossColoring(5, 5, 1), AsyncOptions{Order: AsyncRandom})
+	if res.Sweeps == 0 {
+		t.Error("async run with default source did nothing")
+	}
+}
+
+func TestRunAsyncReachesFixedPointOnBlockedConfiguration(t *testing.T) {
+	c := color.NewColoring(grid.MustDims(6, 6), 1)
+	c.SetRC(2, 2, 2)
+	c.SetRC(2, 3, 2)
+	c.SetRC(3, 2, 2)
+	c.SetRC(3, 3, 2)
+	topo := grid.MustNew(grid.KindToroidalMesh, 6, 6)
+	res := NewEngine(topo, rules.SMP{}).RunAsync(c, AsyncOptions{Order: AsyncRaster})
+	if !res.FixedPoint {
+		t.Fatal("expected fixed point")
+	}
+	if res.Monochromatic {
+		t.Error("blocked configuration must not become monochromatic")
+	}
+}
+
+func TestRunAsyncDoesNotModifyInitial(t *testing.T) {
+	topo := grid.MustNew(grid.KindToroidalMesh, 5, 5)
+	init := crossColoring(5, 5, 1)
+	snap := init.Clone()
+	NewEngine(topo, rules.SMP{}).RunAsync(init, AsyncOptions{Order: AsyncRaster})
+	if !init.Equal(snap) {
+		t.Error("RunAsync must not modify the initial coloring")
+	}
+}
+
+func TestRunAsyncMaxSweeps(t *testing.T) {
+	topo := grid.MustNew(grid.KindToroidalMesh, 9, 9)
+	res := NewEngine(topo, rules.SMP{}).RunAsync(crossColoring(9, 9, 1), AsyncOptions{MaxSweeps: 1, Order: AsyncRaster})
+	if res.Sweeps != 1 {
+		t.Errorf("sweeps = %d, want 1", res.Sweeps)
+	}
+}
+
+func TestRunAsyncDimensionMismatchPanics(t *testing.T) {
+	topo := grid.MustNew(grid.KindToroidalMesh, 4, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewEngine(topo, rules.SMP{}).RunAsync(color.NewColoring(grid.MustDims(5, 5), 1), AsyncOptions{})
+}

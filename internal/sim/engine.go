@@ -1,0 +1,280 @@
+// Package sim contains the synchronous simulation engine that evolves a
+// colored torus under a local recoloring rule.
+//
+// The engine follows the paper's execution model (Section III.D): the system
+// is synchronous, every vertex reads its neighbors' colors at time t and all
+// vertices apply the rule simultaneously to produce the configuration at
+// time t+1.  The engine supports sequential and parallel (striped,
+// double-buffered) stepping that produce bit-identical results, fixed-point
+// and period-2-cycle detection, monotonicity tracking with respect to a
+// target color, and per-vertex recoloring-time traces (the data behind the
+// paper's Figures 5 and 6).
+package sim
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/color"
+	"repro/internal/grid"
+	"repro/internal/rules"
+)
+
+// Options controls a simulation run.
+type Options struct {
+	// MaxRounds bounds the number of synchronous rounds.  Zero selects
+	// DefaultMaxRounds for the topology.
+	MaxRounds int
+	// Parallel enables the striped parallel stepper.
+	Parallel bool
+	// Workers is the number of goroutines used when Parallel is set; zero
+	// selects runtime.GOMAXPROCS(0).
+	Workers int
+	// Target, when non-zero, is the color whose spread is tracked: the
+	// engine records per-vertex first-reach times and whether the
+	// target-colored set evolved monotonically.
+	Target color.Color
+	// StopWhenMonochromatic stops the run as soon as every vertex has the
+	// same color (the dynamo success condition).
+	StopWhenMonochromatic bool
+	// DetectCycles stops the run when a period-2 oscillation is detected
+	// (possible under the reversible majority baselines, never under a
+	// monotone dynamo).
+	DetectCycles bool
+	// RecordHistory keeps a copy of the configuration after every round.
+	RecordHistory bool
+	// Listener, when non-nil, is invoked after every round with the round
+	// number (1-based) and the configuration reached at the end of that
+	// round.  The coloring must not be retained.
+	Listener func(round int, c *color.Coloring)
+}
+
+// DefaultMaxRounds returns a generous round budget for the given dimensions.
+// The paper's convergence bounds are O(m·n); the default leaves ample slack
+// so non-convergence always means "not a dynamo" rather than "budget too
+// small".
+func DefaultMaxRounds(d grid.Dims) int { return 3*d.N() + 16 }
+
+// Result describes a finished simulation run.
+type Result struct {
+	// Rounds is the number of rounds executed.
+	Rounds int
+	// FixedPoint reports that the last round changed no vertex.
+	FixedPoint bool
+	// Cycle reports that a period-2 oscillation was detected.
+	Cycle bool
+	// Monochromatic reports that the final configuration is monochromatic,
+	// and FinalColor carries its color.
+	Monochromatic bool
+	FinalColor    color.Color
+	// MonotoneTarget reports that the set of Target-colored vertices never
+	// lost a vertex during the run (Definition 3).  It is meaningful only
+	// when Options.Target was set.
+	MonotoneTarget bool
+	// FirstReached[v] is the first round (0 = initially) at which vertex v
+	// carried the Target color, or -1 if it never did.  Nil when
+	// Options.Target was not set.
+	FirstReached []int
+	// ChangesPerRound[i] is the number of vertices that changed color in
+	// round i+1.
+	ChangesPerRound []int
+	// Final is the configuration at the end of the run.
+	Final *color.Coloring
+	// History holds the configuration after every round when
+	// Options.RecordHistory was set (History[0] is the state after round 1).
+	History []*color.Coloring
+}
+
+// ReachedAll reports whether every vertex reached the target color at some
+// round.
+func (r *Result) ReachedAll() bool {
+	if r.FirstReached == nil {
+		return false
+	}
+	for _, t := range r.FirstReached {
+		if t < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// TimesMatrix lays the FirstReached trace out as a row-major matrix, the
+// form used by the paper's Figures 5 and 6.  Vertices that never reached the
+// target are -1.
+func (r *Result) TimesMatrix(d grid.Dims) [][]int {
+	out := make([][]int, d.Rows)
+	for i := range out {
+		row := make([]int, d.Cols)
+		for j := range row {
+			if r.FirstReached == nil {
+				row[j] = -1
+			} else {
+				row[j] = r.FirstReached[d.IndexRC(i, j)]
+			}
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// Engine evolves colorings over a fixed topology under a fixed rule.  An
+// Engine is immutable after construction and safe for concurrent use by
+// multiple goroutines running independent simulations.
+type Engine struct {
+	topo grid.Topology
+	rule rules.Rule
+	// neighbors is the flattened adjacency table: the four neighbor indices
+	// of vertex v occupy neighbors[4v:4v+4].  Precomputing it keeps the
+	// inner loop free of modulo arithmetic and interface dispatch.
+	neighbors []int32
+}
+
+// NewEngine builds an engine for the given topology and rule.
+func NewEngine(topo grid.Topology, rule rules.Rule) *Engine {
+	n := topo.Dims().N()
+	neighbors := make([]int32, 0, n*grid.Degree)
+	var buf [grid.Degree]int
+	for v := 0; v < n; v++ {
+		for _, u := range topo.Neighbors(v, buf[:0]) {
+			neighbors = append(neighbors, int32(u))
+		}
+	}
+	return &Engine{topo: topo, rule: rule, neighbors: neighbors}
+}
+
+// Topology returns the engine's topology.
+func (e *Engine) Topology() grid.Topology { return e.topo }
+
+// Rule returns the engine's rule.
+func (e *Engine) Rule() rules.Rule { return e.rule }
+
+// stepRange applies one synchronous round to vertices [lo, hi) reading from
+// cur and writing to next, and returns how many of them changed.
+func (e *Engine) stepRange(cur, next []color.Color, lo, hi int) int {
+	changed := 0
+	var scratch [grid.Degree]color.Color
+	for v := lo; v < hi; v++ {
+		base := v * grid.Degree
+		scratch[0] = cur[e.neighbors[base]]
+		scratch[1] = cur[e.neighbors[base+1]]
+		scratch[2] = cur[e.neighbors[base+2]]
+		scratch[3] = cur[e.neighbors[base+3]]
+		nc := e.rule.Next(cur[v], scratch[:])
+		next[v] = nc
+		if nc != cur[v] {
+			changed++
+		}
+	}
+	return changed
+}
+
+// Step applies one synchronous round, reading from cur and writing into
+// next.  It returns the number of vertices that changed color.  cur and next
+// must have the engine's dimensions and must not alias.
+func (e *Engine) Step(cur, next *color.Coloring) int {
+	if cur.Dims() != e.topo.Dims() || next.Dims() != e.topo.Dims() {
+		panic(fmt.Sprintf("sim: Step dimension mismatch (%v, %v) vs %v", cur.Dims(), next.Dims(), e.topo.Dims()))
+	}
+	return e.stepRange(cur.Cells(), next.Cells(), 0, cur.N())
+}
+
+// Run evolves the initial coloring under the engine's rule until a stop
+// condition holds.  The initial coloring is not modified.
+func (e *Engine) Run(initial *color.Coloring, opt Options) *Result {
+	d := e.topo.Dims()
+	if initial.Dims() != d {
+		panic(fmt.Sprintf("sim: Run dimension mismatch %v vs %v", initial.Dims(), d))
+	}
+	maxRounds := opt.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = DefaultMaxRounds(d)
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	cur := initial.Clone()
+	next := initial.Clone()
+	var prevPrev *color.Coloring
+	if opt.DetectCycles {
+		prevPrev = initial.Clone()
+	}
+
+	res := &Result{MonotoneTarget: true}
+	if opt.Target != color.None {
+		res.FirstReached = make([]int, d.N())
+		for v := 0; v < d.N(); v++ {
+			if cur.At(v) == opt.Target {
+				res.FirstReached[v] = 0
+			} else {
+				res.FirstReached[v] = -1
+			}
+		}
+	}
+
+	for round := 1; round <= maxRounds; round++ {
+		var changed int
+		if opt.Parallel && workers > 1 {
+			changed = e.stepParallel(cur.Cells(), next.Cells(), workers)
+		} else {
+			changed = e.stepRange(cur.Cells(), next.Cells(), 0, d.N())
+		}
+		res.Rounds = round
+		res.ChangesPerRound = append(res.ChangesPerRound, changed)
+
+		if opt.Target != color.None {
+			for v := 0; v < d.N(); v++ {
+				got, had := next.At(v) == opt.Target, cur.At(v) == opt.Target
+				if had && !got {
+					res.MonotoneTarget = false
+				}
+				if got && res.FirstReached[v] < 0 {
+					res.FirstReached[v] = round
+				}
+			}
+		}
+		if opt.RecordHistory {
+			res.History = append(res.History, next.Clone())
+		}
+		if opt.Listener != nil {
+			opt.Listener(round, next)
+		}
+
+		if changed == 0 {
+			res.FixedPoint = true
+			cur, next = next, cur
+			break
+		}
+		if opt.StopWhenMonochromatic {
+			if _, ok := next.IsMonochromatic(); ok {
+				cur, next = next, cur
+				break
+			}
+		}
+		if opt.DetectCycles {
+			if next.Equal(prevPrev) {
+				res.Cycle = true
+				cur, next = next, cur
+				break
+			}
+			prevPrev.CopyFrom(cur)
+		}
+		cur, next = next, cur
+	}
+
+	res.Final = cur.Clone()
+	res.FinalColor, res.Monochromatic = res.Final.IsMonochromatic()
+	if opt.Target == color.None {
+		res.MonotoneTarget = false
+	}
+	return res
+}
+
+// Run is a convenience wrapper constructing a throwaway engine.  Prefer
+// building an Engine once when running many simulations over the same
+// topology and rule.
+func Run(topo grid.Topology, rule rules.Rule, initial *color.Coloring, opt Options) *Result {
+	return NewEngine(topo, rule).Run(initial, opt)
+}

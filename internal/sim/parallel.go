@@ -1,0 +1,62 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/color"
+)
+
+// StepParallel applies one synchronous round using the striped parallel
+// stepper, reading from cur and writing into next, and returns the number of
+// vertices that changed color.  It produces exactly the same result as Step;
+// it exists so benchmarks and throughput experiments can drive the parallel
+// path without going through Run.
+func (e *Engine) StepParallel(cur, next *color.Coloring, workers int) int {
+	if cur.Dims() != e.topo.Dims() || next.Dims() != e.topo.Dims() {
+		panic(fmt.Sprintf("sim: StepParallel dimension mismatch (%v, %v) vs %v", cur.Dims(), next.Dims(), e.topo.Dims()))
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	return e.stepParallel(cur.Cells(), next.Cells(), workers)
+}
+
+// stepParallel applies one synchronous round using the striped parallel
+// stepper: the vertex range is cut into contiguous stripes, one per worker,
+// each worker reads the shared immutable cur slice and writes only its own
+// stripe of next.  Because reads and writes never overlap, the result is
+// bit-identical to the sequential stepper.
+func (e *Engine) stepParallel(cur, next []color.Color, workers int) int {
+	n := len(cur)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return e.stepRange(cur, next, 0, n)
+	}
+	changes := make([]int, workers)
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			changes[w] = e.stepRange(cur, next, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	total := 0
+	for _, c := range changes {
+		total += c
+	}
+	return total
+}

@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/color"
+	"repro/internal/grid"
+	"repro/internal/rng"
+	"repro/internal/rules"
+)
+
+func randomColoring(seed uint64, m, n, k int) *color.Coloring {
+	src := rng.New(seed)
+	p := color.MustPalette(k)
+	return color.RandomColoring(grid.MustDims(m, n), p, func() int { return src.Intn(p.K) })
+}
+
+// The parallel stepper must be bit-identical to the sequential stepper on a
+// single round, for every topology.
+func TestParallelStepMatchesSequential(t *testing.T) {
+	for _, kind := range grid.Kinds() {
+		topo := grid.MustNew(kind, 17, 23)
+		eng := NewEngine(topo, rules.SMP{})
+		cur := randomColoring(42, 17, 23, 5)
+		seqNext := color.NewColoring(topo.Dims(), color.None)
+		parNext := color.NewColoring(topo.Dims(), color.None)
+		seqChanged := eng.stepRange(cur.Cells(), seqNext.Cells(), 0, cur.N())
+		for _, workers := range []int{2, 3, 4, 8, 64, 1000} {
+			parChanged := eng.stepParallel(cur.Cells(), parNext.Cells(), workers)
+			if parChanged != seqChanged {
+				t.Fatalf("%v workers=%d: changed %d vs %d", kind, workers, parChanged, seqChanged)
+			}
+			if !seqNext.Equal(parNext) {
+				t.Fatalf("%v workers=%d: parallel result differs from sequential", kind, workers)
+			}
+		}
+	}
+}
+
+// Full runs must agree between the sequential and parallel engines.
+func TestParallelRunMatchesSequential(t *testing.T) {
+	topo := grid.MustNew(grid.KindToroidalMesh, 20, 20)
+	eng := NewEngine(topo, rules.SMP{})
+	init := randomColoring(7, 20, 20, 4)
+	seq := eng.Run(init, Options{Target: 1, StopWhenMonochromatic: true, MaxRounds: 300})
+	par := eng.Run(init, Options{Target: 1, StopWhenMonochromatic: true, MaxRounds: 300, Parallel: true, Workers: 4})
+	if !seq.Final.Equal(par.Final) {
+		t.Fatal("parallel run reached a different final configuration")
+	}
+	if seq.Rounds != par.Rounds {
+		t.Fatalf("rounds %d vs %d", seq.Rounds, par.Rounds)
+	}
+	for v := range seq.FirstReached {
+		if seq.FirstReached[v] != par.FirstReached[v] {
+			t.Fatalf("FirstReached[%d] differs: %d vs %d", v, seq.FirstReached[v], par.FirstReached[v])
+		}
+	}
+}
+
+func TestParallelRunCrossDynamo(t *testing.T) {
+	topo := grid.MustNew(grid.KindToroidalMesh, 9, 9)
+	eng := NewEngine(topo, rules.SMP{})
+	res := eng.Run(crossColoring(9, 9, 1), Options{
+		Target: 1, StopWhenMonochromatic: true, Parallel: true, Workers: 3,
+	})
+	if !res.Monochromatic || res.FinalColor != 1 {
+		t.Fatal("parallel cross dynamo failed")
+	}
+	// Theorem 7 for m=n=9: 2*max(ceil(8/2)-1, ceil(8/2)-1)+1 = 7.
+	if res.Rounds != 7 {
+		t.Errorf("rounds = %d, want 7", res.Rounds)
+	}
+}
+
+func TestParallelWithMoreWorkersThanVertices(t *testing.T) {
+	topo := grid.MustNew(grid.KindToroidalMesh, 3, 3)
+	eng := NewEngine(topo, rules.SMP{})
+	cur := randomColoring(1, 3, 3, 3)
+	next := color.NewColoring(topo.Dims(), color.None)
+	// Must not panic or deadlock.
+	eng.stepParallel(cur.Cells(), next.Cells(), 64)
+	seqNext := color.NewColoring(topo.Dims(), color.None)
+	eng.stepRange(cur.Cells(), seqNext.Cells(), 0, cur.N())
+	if !next.Equal(seqNext) {
+		t.Error("oversubscribed parallel step differs from sequential")
+	}
+}
+
+func TestParallelPropertyEquivalence(t *testing.T) {
+	f := func(seed uint64, kindSeed, sizeSeed, workerSeed uint8) bool {
+		kind := grid.Kinds()[int(kindSeed)%3]
+		m := 4 + int(sizeSeed)%12
+		n := 4 + int(sizeSeed/2)%12
+		workers := 2 + int(workerSeed)%6
+		topo := grid.MustNew(kind, m, n)
+		eng := NewEngine(topo, rules.SMP{})
+		init := randomColoring(seed, m, n, 4)
+		seq := eng.Run(init, Options{StopWhenMonochromatic: true, MaxRounds: 100})
+		par := eng.Run(init, Options{StopWhenMonochromatic: true, MaxRounds: 100, Parallel: true, Workers: workers})
+		return seq.Final.Equal(par.Final) && seq.Rounds == par.Rounds
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

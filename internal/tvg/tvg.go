@@ -1,0 +1,180 @@
+// Package tvg implements the time-varying-graph extension suggested in the
+// paper's conclusions ("such a protocol should be investigated in contexts
+// where graphs are subject to intermittent availability of both links and
+// nodes", citing Casteigts, Flocchini, Quattrociocchi, Santoro).
+//
+// A time-varying torus wraps one of the torus topologies with a per-round
+// link availability model; during a round a vertex only observes the
+// neighbors whose links are currently available, and the SMP condition is
+// evaluated on that reduced multiset.
+package tvg
+
+import (
+	"repro/internal/color"
+	"repro/internal/grid"
+	"repro/internal/rng"
+	"repro/internal/rules"
+)
+
+// Availability decides which links are usable in a given round.  It must be
+// deterministic in (round, u, v) so that simulations are reproducible;
+// implementations receive the endpoints with u < v to keep the decision
+// symmetric.
+type Availability interface {
+	// Available reports whether the link {u, v} can carry information
+	// during the given round (1-based).
+	Available(round, u, v int) bool
+}
+
+// AlwaysOn is the degenerate availability model of the static torus.
+type AlwaysOn struct{}
+
+// Available always returns true.
+func (AlwaysOn) Available(int, int, int) bool { return true }
+
+// Bernoulli makes every link independently available with probability P in
+// every round, using a hash of (seed, round, u, v) so that repeated queries
+// agree and runs are reproducible.
+type Bernoulli struct {
+	// P is the per-round availability probability in [0, 1].
+	P float64
+	// Seed selects the random universe.
+	Seed uint64
+}
+
+// Available implements Availability.
+func (b Bernoulli) Available(round, u, v int) bool {
+	if b.P >= 1 {
+		return true
+	}
+	if b.P <= 0 {
+		return false
+	}
+	h := rng.New(b.Seed ^ (uint64(round) * 0x9e3779b97f4a7c15) ^ (uint64(u) << 32) ^ uint64(v))
+	return h.Float64() < b.P
+}
+
+// NodeFaults wraps another availability model and additionally takes whole
+// vertices offline: when a vertex is down during a round, every link
+// incident to it is unavailable, so its neighbors cannot read its color and
+// it reads nobody (hence it keeps its color).  This is the "intermittent
+// availability of both links and nodes" variant from the paper's
+// conclusions.
+type NodeFaults struct {
+	// Links is the underlying link-availability model (AlwaysOn for pure
+	// node churn).
+	Links Availability
+	// P is the per-round probability that a vertex is up.
+	P float64
+	// Seed selects the random universe.
+	Seed uint64
+}
+
+// nodeUp reports whether vertex v is up during the given round.
+func (nf NodeFaults) nodeUp(round, v int) bool {
+	if nf.P >= 1 {
+		return true
+	}
+	if nf.P <= 0 {
+		return false
+	}
+	h := rng.New(nf.Seed ^ 0xa24baed4963ee407 ^ (uint64(round) * 0x9e3779b97f4a7c15) ^ uint64(v)<<17)
+	return h.Float64() < nf.P
+}
+
+// Available implements Availability: the link is usable only when both
+// endpoints are up and the underlying link model allows it.
+func (nf NodeFaults) Available(round, u, v int) bool {
+	links := nf.Links
+	if links == nil {
+		links = AlwaysOn{}
+	}
+	return nf.nodeUp(round, u) && nf.nodeUp(round, v) && links.Available(round, u, v)
+}
+
+// Periodic disables every link during rounds where (round mod Period) falls
+// below Off; it models synchronized duty-cycling rather than random churn.
+type Periodic struct {
+	// Period is the cycle length in rounds (must be positive).
+	Period int
+	// Off is the number of rounds per cycle during which links are down.
+	Off int
+}
+
+// Available implements Availability.
+func (p Periodic) Available(round, _, _ int) bool {
+	if p.Period <= 0 {
+		return true
+	}
+	return round%p.Period >= p.Off
+}
+
+// Result describes a time-varying simulation run.
+type Result struct {
+	// Rounds executed.
+	Rounds int
+	// Monochromatic reports whether the run ended in the monochromatic
+	// configuration of FinalColor.
+	Monochromatic bool
+	FinalColor    color.Color
+	// Final is the final configuration.
+	Final *color.Coloring
+}
+
+// Run evolves the coloring under the rule on the time-varying torus: each
+// round, every vertex applies the rule to the colors of its currently
+// reachable neighbors only.  Unreachable neighbors are simply dropped from
+// the neighborhood (a vertex with fewer than two reachable neighbors never
+// recolors under SMP-style rules).
+func Run(topo grid.Topology, avail Availability, rule rules.Rule, initial *color.Coloring, maxRounds int) *Result {
+	d := topo.Dims()
+	if maxRounds <= 0 {
+		maxRounds = 6*d.N() + 32
+	}
+	cur := initial.Clone()
+	next := initial.Clone()
+	res := &Result{}
+	var buf [grid.Degree]int
+	scratch := make([]color.Color, 0, grid.Degree)
+	for round := 1; round <= maxRounds; round++ {
+		changed := 0
+		for v := 0; v < d.N(); v++ {
+			scratch = scratch[:0]
+			for _, u := range topo.Neighbors(v, buf[:0]) {
+				a, b := v, u
+				if a > b {
+					a, b = b, a
+				}
+				if avail.Available(round, a, b) {
+					scratch = append(scratch, cur.At(u))
+				}
+			}
+			nc := cur.At(v)
+			if len(scratch) >= 2 {
+				nc = rule.Next(cur.At(v), scratch)
+			}
+			next.Set(v, nc)
+			if nc != cur.At(v) {
+				changed++
+			}
+		}
+		res.Rounds = round
+		cur, next = next, cur
+		if _, mono := cur.IsMonochromatic(); mono {
+			break
+		}
+		if changed == 0 && isAlwaysOn(avail) {
+			// Only a static network is guaranteed to stay at a fixed point;
+			// an intermittent one may change again when links return.
+			break
+		}
+	}
+	res.Final = cur
+	res.FinalColor, res.Monochromatic = cur.IsMonochromatic()
+	return res
+}
+
+func isAlwaysOn(a Availability) bool {
+	_, ok := a.(AlwaysOn)
+	return ok
+}
