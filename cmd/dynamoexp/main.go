@@ -1,6 +1,6 @@
 // Command dynamoexp regenerates the paper's tables and figures (the
 // experiment index E01..E18 of DESIGN.md) and prints them as text, CSV or
-// markdown.
+// markdown.  It is a thin CLI over the public repro/dynmon package.
 //
 // Examples:
 //
@@ -15,8 +15,7 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/analysis"
-	"repro/internal/ascii"
+	"repro/dynmon"
 )
 
 func main() {
@@ -29,7 +28,7 @@ func main() {
 	)
 	flag.Parse()
 
-	experiments := analysis.All()
+	experiments := dynmon.Experiments()
 	if *list {
 		for _, e := range experiments {
 			fmt.Printf("%s  %-60s  paper: %s\n", e.ID, e.Title, e.Paper)
@@ -37,21 +36,21 @@ func main() {
 		return
 	}
 	if *expID != "" {
-		e, ok := analysis.ByID(*expID)
+		e, ok := dynmon.ExperimentByID(*expID)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "dynamoexp: unknown experiment %q (use -list)\n", *expID)
 			os.Exit(1)
 		}
-		experiments = []analysis.Experiment{e}
+		experiments = []dynmon.Experiment{e}
 	}
 	if *outDir != "" {
-		format := analysis.FormatText
+		format := dynmon.FormatText
 		if *csv {
-			format = analysis.FormatCSV
+			format = dynmon.FormatCSV
 		} else if *markdown {
-			format = analysis.FormatMarkdown
+			format = dynmon.FormatMarkdown
 		}
-		files, err := analysis.Export(*outDir, experiments, format)
+		files, err := dynmon.ExportExperiments(*outDir, experiments, format)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dynamoexp:", err)
 			os.Exit(1)
@@ -62,7 +61,7 @@ func main() {
 		return
 	}
 	for _, e := range experiments {
-		fmt.Print(ascii.Banner(fmt.Sprintf("%s  %s", e.ID, e.Title)))
+		fmt.Print(dynmon.Banner(fmt.Sprintf("%s  %s", e.ID, e.Title)))
 		table := e.Run()
 		switch {
 		case *csv:

@@ -11,7 +11,7 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/core"
+	"repro/dynmon"
 )
 
 func main() {
@@ -19,7 +19,7 @@ func main() {
 	flag.Parse()
 
 	render := func(n int) {
-		out, err := core.Figure(n)
+		out, err := dynmon.Figure(n)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dynamofig:", err)
 			os.Exit(1)

@@ -14,17 +14,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
-	"repro/internal/ascii"
-	"repro/internal/color"
-	"repro/internal/dynamo"
-	"repro/internal/grid"
+	"repro/dynmon"
 	"repro/internal/search"
 )
 
 func main() {
 	var (
-		topology   = flag.String("topology", "mesh", "torus topology: mesh, cordalis or serpentinus")
+		topology   = flag.String("topology", "mesh", "torus topology: "+strings.Join(dynmon.TopologyNames(), ", "))
 		rows       = flag.Int("rows", 4, "number of rows (m)")
 		cols       = flag.Int("cols", 4, "number of columns (n)")
 		colors     = flag.Int("colors", 5, "palette size |C|")
@@ -36,27 +34,24 @@ func main() {
 	)
 	flag.Parse()
 
-	kind, err := grid.ParseKind(*topology)
+	sys, err := dynmon.New(
+		dynmon.WithTopology(*topology, *rows, *cols),
+		dynmon.Colors(*colors),
+	)
 	if err != nil {
 		fatal(err)
 	}
-	topo, err := grid.New(kind, *rows, *cols)
-	if err != nil {
-		fatal(err)
-	}
-	p, err := color.NewPalette(*colors)
-	if err != nil {
-		fatal(err)
-	}
-	bound := dynamo.LowerBound(kind, topo.Dims())
-	fmt.Printf("topology=%s size=%dx%d colors=%d paper-bound=%d\n", kind, *rows, *cols, *colors, bound)
+	topo := sys.Topology()
+	p := sys.Palette()
+	bound := sys.LowerBound()
+	fmt.Printf("topology=%s size=%dx%d colors=%d paper-bound=%d\n", topo.Name(), *rows, *cols, *colors, bound)
 
 	opt := search.Options{Trials: *trials, RequireMonotone: !*anyDynamo, Seed: *seed}
 
 	report := func(found *search.Found) {
 		fmt.Printf("found a %s dynamo of size %d (converges in %d rounds):\n",
 			kindLabel(found.Monotone), found.SeedSize, found.Rounds)
-		fmt.Print(ascii.Coloring(found.Coloring, 1))
+		fmt.Print(dynmon.Render(found.Coloring, 1))
 		if found.SeedSize < bound {
 			fmt.Printf("NOTE: this is below the paper's Theorem bound of %d — see EXPERIMENTS.md (E17).\n", bound)
 		}

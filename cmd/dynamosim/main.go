@@ -1,5 +1,5 @@
-// Command dynamosim runs a single SMP-Protocol simulation on a colored
-// torus and prints the outcome.
+// Command dynamosim runs a single simulation on a colored torus and prints
+// the outcome.  It is a thin CLI over the public repro/dynmon package.
 //
 // Examples:
 //
@@ -7,40 +7,45 @@
 //	dynamosim -topology cordalis -rows 5 -cols 5 -colors 6 -config minimum -timing
 //	dynamosim -topology mesh -rows 12 -cols 12 -colors 4 -config random -seed 7
 //	dynamosim -topology mesh -rows 6 -cols 6 -colors 2 -config cross -rule pb
+//	dynamosim -topology mesh -rows 16 -cols 16 -config minimum -animate -timeout 5s
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
-	"repro/internal/ascii"
+	"repro/dynmon"
 	"repro/internal/color"
-	"repro/internal/core"
 	"repro/internal/dynamo"
 	"repro/internal/grid"
 )
 
 func main() {
 	var (
-		topology = flag.String("topology", "mesh", "torus topology: mesh, cordalis or serpentinus")
+		topology = flag.String("topology", "mesh", "torus topology: "+strings.Join(dynmon.TopologyNames(), ", "))
 		rows     = flag.Int("rows", 9, "number of rows (m)")
 		cols     = flag.Int("cols", 9, "number of columns (n)")
 		colors   = flag.Int("colors", 5, "palette size |C|")
 		config   = flag.String("config", "minimum", "initial configuration: minimum, cross, comb, random, blocked, frozen")
-		ruleName = flag.String("rule", "smp", "recoloring rule: smp, pb, pc, strong-majority, increment")
+		ruleName = flag.String("rule", "smp", "recoloring rule: "+strings.Join(dynmon.RuleNames(), ", "))
 		target   = flag.Int("target", 1, "target color k")
 		seed     = flag.Uint64("seed", 1, "random seed for the random configuration")
 		render   = flag.Bool("render", false, "render the initial and final colorings")
+		animate  = flag.Bool("animate", false, "render the configuration after every round")
 		timing   = flag.Bool("timing", false, "print the per-vertex recoloring-time matrix (Figures 5/6 format)")
+		timeout  = flag.Duration("timeout", 0, "abort the simulation after this duration (0 = no limit)")
 	)
 	flag.Parse()
 
-	sys, err := core.NewSystem(*topology, *rows, *cols, *colors)
+	sys, err := dynmon.New(
+		dynmon.WithTopology(*topology, *rows, *cols),
+		dynmon.Colors(*colors),
+		dynmon.WithRule(*ruleName),
+	)
 	if err != nil {
-		fatal(err)
-	}
-	if sys, err = sys.WithRule(*ruleName); err != nil {
 		fatal(err)
 	}
 	k := color.Color(*target)
@@ -52,23 +57,50 @@ func main() {
 	initial := cons.Coloring
 
 	fmt.Printf("topology=%s size=%dx%d colors=%d rule=%s config=%s seed-size=%d lower-bound=%d\n",
-		sys.Topology.Name(), *rows, *cols, *colors, sys.Rule.Name(), cons.Name, initial.Count(k), sys.LowerBound())
+		sys.Topology().Name(), *rows, *cols, *colors, sys.Rule().Name(), cons.Name, initial.Count(k), sys.LowerBound())
 	if *render {
 		fmt.Println("initial configuration:")
-		fmt.Print(ascii.Coloring(initial, k))
+		fmt.Print(dynmon.Render(initial, k))
 	}
 
-	var rep *core.Report
-	if sys.Rule.Name() == "smp" {
-		rep = sys.Verify(cons)
-	} else {
-		rep = sys.VerifyColoring(initial, k)
-		rep.Construction = cons.Name
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	runOpts := []dynmon.RunOption{
+		dynmon.Target(k),
+		dynmon.StopWhenMonochromatic(),
+		dynmon.DetectCycles(),
+	}
+	if *animate {
+		runOpts = append(runOpts, dynmon.WithObserver(dynmon.NewAnimator(os.Stdout, k)))
+	}
+	res, err := sys.Run(ctx, initial, runOpts...)
+	if err != nil {
+		fmt.Printf("simulation aborted after %d rounds: %v\n", res.Rounds, err)
+		os.Exit(1)
+	}
+
+	rep := &dynmon.Report{
+		Construction:    cons.Name,
+		SeedSize:        initial.Count(k),
+		LowerBound:      sys.LowerBound(),
+		Rounds:          res.Rounds,
+		PredictedRounds: sys.PredictedRounds(),
+		IsDynamo:        res.Monochromatic && res.FinalColor == k,
+		Monotone:        res.MonotoneTarget,
+		Result:          res,
+	}
+	if sys.Rule().Name() == "smp" {
+		rep.ConditionsOK = dynamo.CheckTheoremConditions(cons) == nil
 	}
 	fmt.Println(rep.Summary())
 	if *render {
 		fmt.Println("final configuration:")
-		fmt.Print(ascii.Coloring(rep.Result.Final, k))
+		fmt.Print(dynmon.Render(res.Final, k))
 	}
 	if *timing {
 		_, rendered := sys.TimingMatrix(initial, k)
@@ -77,21 +109,22 @@ func main() {
 	}
 }
 
-func buildConfig(sys *core.System, config string, k color.Color, seed uint64) (*dynamo.Construction, error) {
-	d := sys.Topology.Dims()
+func buildConfig(sys *dynmon.System, config string, k color.Color, seed uint64) (*dynamo.Construction, error) {
+	d := sys.Dims()
+	palette := sys.Palette()
 	wrap := func(c *color.Coloring, name string) *dynamo.Construction {
 		return &dynamo.Construction{
 			Name:     name,
-			Topology: sys.Topology,
+			Topology: sys.Topology(),
 			Target:   k,
-			Palette:  sys.Palette,
+			Palette:  palette,
 			Seed:     c.Vertices(k),
 			Coloring: c,
 		}
 	}
 	switch config {
 	case "cross", "blocked", "frozen":
-		if sys.Topology.Kind() != grid.KindToroidalMesh {
+		if sys.Topology().Kind() != grid.KindToroidalMesh {
 			return nil, fmt.Errorf("config %q is defined on the toroidal mesh; use -topology mesh", config)
 		}
 	}
@@ -99,20 +132,20 @@ func buildConfig(sys *core.System, config string, k color.Color, seed uint64) (*
 	case "minimum":
 		return sys.MinimumDynamo(k)
 	case "cross":
-		if sys.Palette.K >= 4 {
-			return dynamo.FullCross(d.Rows, d.Cols, k, sys.Palette)
+		if palette.K >= 4 {
+			return dynamo.FullCross(d.Rows, d.Cols, k, palette)
 		}
 		// Two- and three-color crosses are used by the rule-comparison runs.
-		c := color.NewColoring(d, sys.Palette.Others(k)[0])
+		c := color.NewColoring(d, palette.Others(k)[0])
 		c.FillRow(0, k)
 		c.FillCol(0, k)
 		return wrap(c, "two-color-cross"), nil
 	case "comb":
-		return dynamo.CombUpperBound(sys.Topology.Kind(), d.Rows, d.Cols, k, sys.Palette)
+		return dynamo.CombUpperBound(sys.Topology().Kind(), d.Rows, d.Cols, k, palette)
 	case "blocked":
-		return dynamo.BlockedCross(d.Rows, d.Cols, k, sys.Palette)
+		return dynamo.BlockedCross(d.Rows, d.Cols, k, palette)
 	case "frozen":
-		return dynamo.FrozenTiling(d.Rows, d.Cols, k, sys.Palette)
+		return dynamo.FrozenTiling(d.Rows, d.Cols, k, palette)
 	case "random":
 		return wrap(sys.RandomColoring(seed), "random"), nil
 	default:

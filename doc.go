@@ -17,7 +17,9 @@
 //   - the extensions sketched in the paper's conclusions (scale-free graphs,
 //     time-varying graphs, bounded-confidence opinions) — internal/graphs,
 //     internal/tvg, internal/opinion;
-//   - a high-level façade — internal/core.
+//   - the public, context-aware façade with pluggable rule/topology
+//     registries, observers and batched sessions — dynmon (the former
+//     internal/core is a deprecated shim over it).
 //
 // See README.md for a quickstart, DESIGN.md for the system inventory and
 // EXPERIMENTS.md for the paper-vs-measured record of every experiment.

@@ -1,0 +1,191 @@
+// Package dynmon is the public API of the repository: dynamic monopolies
+// ("dynamos") on colored tori under the SMP-Protocol of Brunetti, Lodi and
+// Quattrociocchi (IPPS Workshops 2011, arXiv:1101.5915), plus the baseline
+// rules and topologies the paper compares against.
+//
+// It replaces the former internal/core façade as the supported surface.  A
+// System bundles a topology, a palette and a recoloring rule, built with
+// functional options:
+//
+//	sys, err := dynmon.New(dynmon.Mesh(9, 9), dynmon.Colors(5), dynmon.WithRule("smp"))
+//
+// Simulation is context-aware — Run honors cancellation and deadlines at
+// every round boundary:
+//
+//	res, err := sys.Run(ctx, initial, dynmon.Target(1), dynmon.StopWhenMonochromatic())
+//
+// Observers (OnRound/OnFinish) watch a run as it evolves; the package ships
+// a history recorder, an ASCII animator and a stats collector.  A Session
+// fans a batch of initial colorings across a bounded worker pool over one
+// shared engine, with bit-identical results to one-at-a-time runs.
+//
+// Rules and topologies are pluggable: RegisterRule and RegisterTopology add
+// new implementations resolvable by name, without forking the repository.
+package dynmon
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/color"
+	"repro/internal/dynamo"
+	"repro/internal/grid"
+	"repro/internal/rng"
+	"repro/internal/rules"
+	"repro/internal/sim"
+)
+
+// Aliases re-export the domain types of the internal packages so callers of
+// the public API can name them without importing internal paths (which the
+// Go toolchain forbids outside this module).
+type (
+	// Color is one element of the finite color set C = {1..k}.
+	Color = color.Color
+	// Coloring is a total color assignment over the torus vertices.
+	Coloring = color.Coloring
+	// Palette is the finite ordered color set C = {1..K}.
+	Palette = color.Palette
+	// Rule is a local, deterministic recoloring rule.
+	Rule = rules.Rule
+	// Topology is a 4-regular interaction topology over an m×n lattice.
+	Topology = grid.Topology
+	// Dims describes the size of an m×n torus.
+	Dims = grid.Dims
+	// Result describes a finished simulation run.
+	Result = sim.Result
+	// Observer receives the evolution of a run round by round.
+	Observer = sim.Observer
+	// Construction is a seed-plus-padding configuration from the paper.
+	Construction = dynamo.Construction
+	// Experiment is one entry of the paper's experiment index (E01..E18).
+	Experiment = analysis.Experiment
+)
+
+// None is the zero Color, meaning "no color".
+const None = color.None
+
+// System bundles a torus topology, a palette and a recoloring rule, and
+// owns the simulation engine that evolves colorings under them.  A System
+// is immutable after New and safe for concurrent use.
+type System struct {
+	topo    Topology
+	palette Palette
+	rule    Rule
+	engine  *sim.Engine
+}
+
+// New builds a System from functional options.  The zero configuration is
+// the paper's running example — a 9×9 toroidal mesh, five colors and the
+// SMP-Protocol — so every option is optional:
+//
+//	sys, err := dynmon.New(dynmon.Mesh(9, 9), dynmon.Colors(5), dynmon.WithRule("smp"))
+func New(opts ...Option) (*System, error) {
+	cfg := Config{
+		TopologyName: "toroidal-mesh",
+		Rows:         9,
+		Cols:         9,
+		Colors:       5,
+		RuleName:     "smp",
+	}
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	return NewFromConfig(cfg)
+}
+
+// NewFromConfig builds a System from an explicit Config; New is the
+// options-based front end.  Instance fields (Topology, Rule) win over the
+// corresponding name fields.
+func NewFromConfig(cfg Config) (*System, error) {
+	topo := cfg.Topology
+	if topo == nil {
+		var err error
+		topo, err = grid.ByName(cfg.TopologyName, cfg.Rows, cfg.Cols)
+		if err != nil {
+			return nil, err
+		}
+	}
+	p, err := color.NewPalette(cfg.Colors)
+	if err != nil {
+		return nil, err
+	}
+	rule := cfg.Rule
+	if rule == nil {
+		rule, err = rules.ByName(cfg.RuleName)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &System{
+		topo:    topo,
+		palette: p,
+		rule:    rule,
+		engine:  sim.NewEngine(topo, rule),
+	}, nil
+}
+
+// Topology returns the system's interaction topology.
+func (s *System) Topology() Topology { return s.topo }
+
+// Palette returns the system's color set.
+func (s *System) Palette() Palette { return s.palette }
+
+// Rule returns the system's recoloring rule.
+func (s *System) Rule() Rule { return s.rule }
+
+// Dims returns the lattice dimensions.
+func (s *System) Dims() Dims { return s.topo.Dims() }
+
+// String renders the system as "topology RxC, K colors, rule".
+func (s *System) String() string {
+	d := s.topo.Dims()
+	return fmt.Sprintf("%s %dx%d, %d colors, rule %s", s.topo.Name(), d.Rows, d.Cols, s.palette.K, s.rule.Name())
+}
+
+// Run evolves the initial coloring under the system's rule until a stop
+// condition holds, honoring the context at every round boundary: when ctx
+// is canceled or its deadline passes the run stops promptly and returns the
+// partial Result together with ctx.Err().  The initial coloring is not
+// modified.
+func (s *System) Run(ctx context.Context, initial *Coloring, opts ...RunOption) (*Result, error) {
+	return s.engine.RunContext(ctx, initial, buildRunOptions(opts))
+}
+
+// NewColoring returns a coloring of the system's dimensions with every
+// vertex set to fill (use None to leave it unset).
+func (s *System) NewColoring(fill Color) *Coloring {
+	return color.NewColoring(s.topo.Dims(), fill)
+}
+
+// RandomColoring returns a uniformly random coloring of the system's torus,
+// deterministic in the seed.
+func (s *System) RandomColoring(seed uint64) *Coloring {
+	src := rng.New(seed)
+	return color.RandomColoring(s.topo.Dims(), s.palette, func() int { return src.Intn(s.palette.K) })
+}
+
+// MinimumDynamo builds the paper's tight construction for the system's
+// topology: Theorem 2 for the toroidal mesh, Theorem 4 for the torus
+// cordalis and Theorem 6 for the torus serpentinus.
+func (s *System) MinimumDynamo(target Color) (*Construction, error) {
+	d := s.topo.Dims()
+	return dynamo.Minimum(s.topo.Kind(), d.Rows, d.Cols, target, s.palette)
+}
+
+// LowerBound returns the paper's lower bound on the size of a monotone
+// dynamo for the system's topology and size.
+func (s *System) LowerBound() int {
+	return dynamo.LowerBound(s.topo.Kind(), s.topo.Dims())
+}
+
+// PredictedRounds returns the Theorem 7/8 convergence-time prediction for
+// the system's topology and size.
+func (s *System) PredictedRounds() int {
+	return dynamo.PredictedRounds(s.topo.Kind(), s.topo.Dims())
+}
+
+// NewPalette returns the palette {1..k}, or an error for k < 1.
+func NewPalette(k int) (Palette, error) { return color.NewPalette(k) }

@@ -1,0 +1,306 @@
+package dynmon_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/dynmon"
+)
+
+func TestNewDefaultsAndOptions(t *testing.T) {
+	// Zero configuration is the paper's running example.
+	sys, err := dynmon.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Dims() != (dynmon.Dims{Rows: 9, Cols: 9}) || sys.Palette().K != 5 || sys.Rule().Name() != "smp" {
+		t.Errorf("defaults wrong: %s", sys)
+	}
+
+	sys, err = dynmon.New(dynmon.Cordalis(5, 7), dynmon.Colors(6), dynmon.WithRule("pb"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Topology().Name() != "torus-cordalis" || sys.Dims().Cols != 7 || sys.Rule().Name() != "simple-majority-pb" {
+		t.Errorf("options not applied: %s", sys)
+	}
+
+	if _, err := dynmon.New(dynmon.WithTopology("hypercube", 4, 4)); err == nil {
+		t.Error("unknown topology should be rejected")
+	}
+	if _, err := dynmon.New(dynmon.WithRule("nope")); err == nil {
+		t.Error("unknown rule should be rejected")
+	}
+	if _, err := dynmon.New(dynmon.Colors(0)); err == nil {
+		t.Error("empty palette should be rejected")
+	}
+	if _, err := dynmon.New(dynmon.Mesh(1, 5)); err == nil {
+		t.Error("bad dimensions should be rejected")
+	}
+}
+
+func TestVerifyMinimumDynamoAllTopologies(t *testing.T) {
+	for _, opt := range []dynmon.Option{dynmon.Mesh(9, 9), dynmon.Cordalis(9, 9), dynmon.Serpentinus(9, 9)} {
+		sys, err := dynmon.New(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cons, err := sys.MinimumDynamo(1)
+		if err != nil {
+			t.Fatalf("%s: %v", sys, err)
+		}
+		rep := sys.Verify(cons)
+		if !rep.IsDynamo || !rep.Monotone || !rep.ConditionsOK {
+			t.Errorf("%s: %s", sys, rep.Summary())
+		}
+		if rep.SeedSize != sys.LowerBound() {
+			t.Errorf("%s: seed %d != bound %d", sys, rep.SeedSize, sys.LowerBound())
+		}
+	}
+}
+
+// TestRunContextDeadline covers the acceptance criterion: a deadline
+// shorter than the run makes Run return promptly with ctx.Err().
+func TestRunContextDeadline(t *testing.T) {
+	sys, err := dynmon.New(dynmon.Mesh(32, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons, err := sys.MinimumDynamo(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Unconstrained, the run takes well over 40 rounds on a 32x32 mesh.
+	full, err := sys.Run(context.Background(), cons.Coloring,
+		dynmon.Target(1), dynmon.StopWhenMonochromatic())
+	if err != nil || !full.Monochromatic {
+		t.Fatalf("baseline run failed: %v (%+v)", err, full)
+	}
+
+	// A deadline far shorter than the run: each round is throttled by an
+	// observer so the budget expires mid-simulation.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	partial, err := sys.Run(ctx, cons.Coloring,
+		dynmon.Target(1), dynmon.StopWhenMonochromatic(),
+		dynmon.WithObserver(dynmon.ObserveRounds(func(round int, c *dynmon.Coloring) {
+			time.Sleep(5 * time.Millisecond)
+		})))
+	if err != context.DeadlineExceeded {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("cancellation was not prompt: %v", elapsed)
+	}
+	if partial == nil || partial.Rounds >= full.Rounds {
+		t.Errorf("expected a partial trace, got %d/%d rounds", partial.Rounds, full.Rounds)
+	}
+}
+
+func TestRunParallelMatchesSequentialAndReportsWorkers(t *testing.T) {
+	sys, err := dynmon.New(dynmon.Mesh(16, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial := sys.RandomColoring(42)
+	seq, err := sys.Run(context.Background(), initial, dynmon.Target(1), dynmon.DetectCycles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := sys.Run(context.Background(), initial, dynmon.Target(1), dynmon.DetectCycles(), dynmon.Parallel(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Workers != 1 || par.Workers != 4 {
+		t.Errorf("Workers = %d/%d, want 1/4", seq.Workers, par.Workers)
+	}
+	if !seq.Final.Equal(par.Final) || seq.Rounds != par.Rounds {
+		t.Error("parallel run must be bit-identical to sequential")
+	}
+}
+
+func TestObservers(t *testing.T) {
+	sys, err := dynmon.New(dynmon.Mesh(9, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons, err := sys.MinimumDynamo(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	history := dynmon.NewHistoryRecorder()
+	stats := dynmon.NewStatsCollector(1)
+	var animation strings.Builder
+	anim := dynmon.NewAnimator(&animation, 1)
+
+	res, err := sys.Run(context.Background(), cons.Coloring,
+		dynmon.Target(1), dynmon.StopWhenMonochromatic(),
+		dynmon.WithObserver(history), dynmon.WithObserver(stats), dynmon.WithObserver(anim))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(history.Snapshots()) != res.Rounds {
+		t.Errorf("history has %d snapshots, want %d", len(history.Snapshots()), res.Rounds)
+	}
+	last := history.Snapshots()[len(history.Snapshots())-1]
+	if !last.Equal(res.Final) {
+		t.Error("last snapshot should equal the final configuration")
+	}
+	if history.Final() != res {
+		t.Error("history should capture the final result")
+	}
+
+	if stats.Rounds != res.Rounds || !stats.Takeover() {
+		t.Errorf("stats: rounds %d, takeover %v", stats.Rounds, stats.Takeover())
+	}
+	counts := stats.TargetCounts
+	n := sys.Dims().N()
+	if counts[len(counts)-1] != n {
+		t.Errorf("final target count %d, want %d", counts[len(counts)-1], n)
+	}
+	for i := 1; i < len(counts); i++ {
+		if counts[i] < counts[i-1] {
+			t.Error("target counts of a monotone dynamo must be non-decreasing")
+		}
+	}
+	if stats.PeakGain <= 0 {
+		t.Errorf("PeakGain = %d", stats.PeakGain)
+	}
+
+	out := animation.String()
+	if !strings.Contains(out, "round 1:") || !strings.Contains(out, "monochromatic (color 1)") {
+		t.Errorf("animation output malformed:\n%s", out)
+	}
+}
+
+// TestSessionBatchParity covers the acceptance criterion: batch
+// verification of 1000 random colorings on a 32x32 mesh is identical to
+// sequential one-at-a-time runs (bit-identical engine guarantee).
+func TestSessionBatchParity(t *testing.T) {
+	sys, err := dynmon.New(dynmon.Mesh(32, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const batch = 1000
+	initials := make([]*dynmon.Coloring, batch)
+	for i := range initials {
+		initials[i] = sys.RandomColoring(uint64(i + 1))
+	}
+
+	session := sys.NewSession(8)
+	reports, err := session.VerifyBatch(context.Background(), initials, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != batch {
+		t.Fatalf("got %d reports", len(reports))
+	}
+
+	for i, initial := range initials {
+		want := sys.VerifyColoring(initial, 1)
+		got := reports[i]
+		if got == nil {
+			t.Fatalf("report %d is nil", i)
+		}
+		if got.IsDynamo != want.IsDynamo || got.Rounds != want.Rounds ||
+			got.Monotone != want.Monotone || got.SeedSize != want.SeedSize {
+			t.Fatalf("report %d drifted: batch %+v vs sequential %+v", i, got, want)
+		}
+		if !got.Result.Final.Equal(want.Result.Final) {
+			t.Fatalf("coloring %d: batch final configuration differs from sequential", i)
+		}
+	}
+}
+
+func TestSessionRunBatchCancellation(t *testing.T) {
+	sys, err := dynmon.New(dynmon.Mesh(16, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	initials := make([]*dynmon.Coloring, 64)
+	for i := range initials {
+		initials[i] = sys.RandomColoring(uint64(i + 1))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results, err := sys.NewSession(4).RunBatch(ctx, initials, dynmon.Target(1))
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(results) != len(initials) {
+		t.Fatalf("results length %d", len(results))
+	}
+}
+
+func TestRegisterRuleAndTopologyThroughFacade(t *testing.T) {
+	// Registering a duplicate name panics, so keep the test idempotent
+	// across in-process reruns (go test -count=N).
+	if _, err := dynmon.RuleByName("facade-stay"); err != nil {
+		dynmon.RegisterRule("facade-stay", func() dynmon.Rule { return stayRule{} })
+	}
+	if _, err := dynmon.TopologyByName("facade-mesh", 2, 2); err != nil {
+		dynmon.RegisterTopology("facade-mesh", func(rows, cols int) (dynmon.Topology, error) {
+			return dynmon.TopologyByName("mesh", rows, cols)
+		})
+	}
+
+	sys, err := dynmon.New(
+		dynmon.WithTopology("facade-mesh", 6, 6),
+		dynmon.Colors(3),
+		dynmon.WithRule("facade-stay"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run(context.Background(), sys.RandomColoring(1), dynmon.MaxRounds(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The stay rule never changes anything: immediate fixed point.
+	if !res.FixedPoint || res.Rounds != 1 {
+		t.Errorf("stay rule should freeze immediately, got %+v", res)
+	}
+
+	assertListed := func(names []string, want string) {
+		for _, n := range names {
+			if n == want {
+				return
+			}
+		}
+		t.Errorf("%q not listed in %v", want, names)
+	}
+	assertListed(dynmon.RuleNames(), "facade-stay")
+	assertListed(dynmon.TopologyNames(), "facade-mesh")
+}
+
+func TestFiguresAndExperiments(t *testing.T) {
+	for fig := 1; fig <= 6; fig++ {
+		out, err := dynmon.Figure(fig)
+		if err != nil || !strings.Contains(out, "Figure") {
+			t.Errorf("figure %d: %v", fig, err)
+		}
+	}
+	if _, err := dynmon.Figure(7); err == nil {
+		t.Error("figure 7 should not exist")
+	}
+	if len(dynmon.Experiments()) != 18 {
+		t.Errorf("experiments = %d, want 18", len(dynmon.Experiments()))
+	}
+	if _, ok := dynmon.ExperimentByID("E07"); !ok {
+		t.Error("E07 should resolve")
+	}
+}
+
+// stayRule keeps every vertex's color forever; it exists for registry tests.
+type stayRule struct{}
+
+func (stayRule) Name() string { return "facade-stay" }
+func (stayRule) Next(current dynmon.Color, neighbors []dynmon.Color) dynmon.Color {
+	return current
+}

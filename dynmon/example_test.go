@@ -1,0 +1,88 @@
+package dynmon_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"repro/dynmon"
+)
+
+// Example_quickstart builds the paper's minimum-size dynamo on a 9x9
+// toroidal mesh, verifies it, and prints the outcome.
+func Example_quickstart() {
+	sys, err := dynmon.New(dynmon.Mesh(9, 9), dynmon.Colors(5), dynmon.WithRule("smp"))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cons, err := sys.MinimumDynamo(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("seed size %d, lower bound %d\n", cons.SeedSize(), sys.LowerBound())
+
+	rep := sys.Verify(cons)
+	fmt.Printf("dynamo=%v monotone=%v rounds=%d (paper formula %d)\n",
+		rep.IsDynamo, rep.Monotone, rep.Rounds, rep.PredictedRounds)
+
+	// Output:
+	// seed size 16, lower bound 16
+	// dynamo=true monotone=true rounds=8 (paper formula 7)
+}
+
+// ExampleSession fans a batch of random colorings across a worker pool
+// sharing one engine, and counts how many happen to be dynamos.
+func ExampleSession() {
+	sys, err := dynmon.New(dynmon.Mesh(8, 8), dynmon.Colors(5))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	initials := make([]*dynmon.Coloring, 50)
+	for i := range initials {
+		initials[i] = sys.RandomColoring(uint64(i + 1))
+	}
+
+	session := sys.NewSession(4)
+	reports, err := session.VerifyBatch(context.Background(), initials, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	dynamos := 0
+	for _, rep := range reports {
+		if rep.IsDynamo {
+			dynamos++
+		}
+	}
+	fmt.Printf("%d of %d random colorings are dynamos for color 1\n", dynamos, len(reports))
+
+	// Output:
+	// 0 of 50 random colorings are dynamos for color 1
+}
+
+// ExampleSystem_Run runs a simulation with a deadline and a stats
+// observer.
+func ExampleSystem_Run() {
+	sys, err := dynmon.New(dynmon.Mesh(9, 9))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cons, err := sys.MinimumDynamo(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	stats := dynmon.NewStatsCollector(1)
+	res, err := sys.Run(context.Background(), cons.Coloring,
+		dynmon.Target(1), dynmon.StopWhenMonochromatic(), dynmon.WithObserver(stats))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("takeover=%v after %d rounds, final count %d\n",
+		stats.Takeover(), res.Rounds, stats.TargetCounts[len(stats.TargetCounts)-1])
+
+	// Output:
+	// takeover=true after 8 rounds, final count 81
+}

@@ -1,0 +1,89 @@
+package dynmon
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/ascii"
+	"repro/internal/color"
+	"repro/internal/dynamo"
+)
+
+// Experiments returns the full experiment index (E01..E18) that regenerates
+// every table and figure of the paper.
+func Experiments() []Experiment { return analysis.All() }
+
+// ExperimentByID returns one experiment of the index (e.g. "E07").
+func ExperimentByID(id string) (Experiment, bool) { return analysis.ByID(id) }
+
+// ExportFormat selects the on-disk format of exported experiment tables.
+type ExportFormat = analysis.ExportFormat
+
+// Export formats for ExportExperiments.
+const (
+	FormatText     = analysis.FormatText
+	FormatCSV      = analysis.FormatCSV
+	FormatMarkdown = analysis.FormatMarkdown
+)
+
+// ExportExperiments writes one file per experiment into dir and returns the
+// paths written.
+func ExportExperiments(dir string, experiments []Experiment, format ExportFormat) ([]string, error) {
+	return analysis.Export(dir, experiments, format)
+}
+
+// Figure regenerates one of the paper's figures (1-6) as ASCII art plus a
+// short caption.
+func Figure(number int) (string, error) {
+	p5 := color.MustPalette(5)
+	switch number {
+	case 1:
+		c, err := dynamo.Figure1(1, p5)
+		if err != nil {
+			return "", err
+		}
+		return ascii.Banner("Figure 1: a monotone dynamo of size m+n-2 = 16 on a 9x9 toroidal mesh") +
+			ascii.Coloring(c.Coloring, c.Target), nil
+	case 2:
+		c, err := dynamo.MeshMinimum(8, 8, 1, p5)
+		if err != nil {
+			return "", err
+		}
+		return ascii.Banner("Figure 2: the Theorem 2 minimum dynamo with its padding (8x8)") +
+			ascii.Coloring(c.Coloring, c.Target), nil
+	case 3:
+		c, err := dynamo.BlockedCross(8, 8, 1, p5)
+		if err != nil {
+			return "", err
+		}
+		return ascii.Banner("Figure 3: black nodes that do not constitute a dynamo (planted block)") +
+			ascii.Coloring(c.Coloring, c.Target), nil
+	case 4:
+		c, err := dynamo.FrozenTiling(8, 8, 1, color.MustPalette(4))
+		if err != nil {
+			return "", err
+		}
+		return ascii.Banner("Figure 4: a configuration in which no recoloring can arise") +
+			ascii.Coloring(c.Coloring, c.Target), nil
+	case 5:
+		c, err := dynamo.FullCross(5, 5, 1, p5)
+		if err != nil {
+			return "", err
+		}
+		m, _ := analysis.TimingMatrix(c.Topology, c.Coloring, 1)
+		return ascii.Banner("Figure 5: recoloring times on the 5x5 toroidal mesh (full cross)") +
+			ascii.SideBySide(ascii.IntMatrix(analysis.Figure5Reference()), ascii.IntMatrix(m), "   |   ") +
+			"(left: paper, right: measured)\n", nil
+	case 6:
+		c, err := dynamo.CordalisMinimum(5, 5, 1, color.MustPalette(6))
+		if err != nil {
+			return "", err
+		}
+		m, _ := analysis.TimingMatrix(c.Topology, c.Coloring, 1)
+		return ascii.Banner("Figure 6: recoloring times on the 5x5 torus cordalis (Theorem 4 seed)") +
+			ascii.SideBySide(ascii.IntMatrix(analysis.Figure6Reference()), ascii.IntMatrix(m), "   |   ") +
+			"(left: paper, right: measured)\n", nil
+	default:
+		return "", fmt.Errorf("dynmon: the paper has figures 1 through 6, got %d", number)
+	}
+}

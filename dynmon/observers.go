@@ -1,0 +1,135 @@
+package dynmon
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/ascii"
+	"repro/internal/sim"
+)
+
+// ObserveRounds adapts a plain per-round callback to the Observer
+// interface; its OnFinish is a no-op.
+func ObserveRounds(f func(round int, c *Coloring)) Observer { return sim.RoundFunc(f) }
+
+// HistoryRecorder is an Observer that keeps a deep copy of the
+// configuration after every round, like the RecordHistory run option but
+// reusable across runs and composable with other observers.
+type HistoryRecorder struct {
+	snapshots []*Coloring
+	final     *Result
+}
+
+// NewHistoryRecorder returns an empty recorder.
+func NewHistoryRecorder() *HistoryRecorder { return &HistoryRecorder{} }
+
+// OnRound clones and stores the configuration.
+func (h *HistoryRecorder) OnRound(round int, c *Coloring) {
+	h.snapshots = append(h.snapshots, c.Clone())
+}
+
+// OnFinish remembers the final result.
+func (h *HistoryRecorder) OnFinish(r *Result) { h.final = r }
+
+// Snapshots returns the recorded configurations, one per round
+// (Snapshots()[0] is the state after round 1).  The slice is owned by the
+// recorder; it keeps growing if the recorder is reused.
+func (h *HistoryRecorder) Snapshots() []*Coloring { return h.snapshots }
+
+// Final returns the Result of the last finished run, or nil if no run
+// finished (e.g. it was canceled).
+func (h *HistoryRecorder) Final() *Result { return h.final }
+
+// Reset drops all recorded state so the recorder can be reused.
+func (h *HistoryRecorder) Reset() { h.snapshots, h.final = nil, nil }
+
+// Animator is an Observer that renders the configuration after every round
+// as ASCII art to a writer — a terminal "animation" of the takeover.
+type Animator struct {
+	// W receives the frames.
+	W io.Writer
+	// Highlight, when not None, is drawn as 'B' like the paper's figures.
+	Highlight Color
+	// EveryN renders only rounds divisible by N (0 or 1 renders all).
+	EveryN int
+}
+
+// NewAnimator renders every round to w, highlighting the given color.
+func NewAnimator(w io.Writer, highlight Color) *Animator {
+	return &Animator{W: w, Highlight: highlight}
+}
+
+// OnRound writes one frame.
+func (a *Animator) OnRound(round int, c *Coloring) {
+	if a.EveryN > 1 && round%a.EveryN != 0 {
+		return
+	}
+	fmt.Fprintf(a.W, "round %d:\n%s", round, ascii.Coloring(c, a.Highlight))
+}
+
+// OnFinish writes a closing summary line.
+func (a *Animator) OnFinish(r *Result) {
+	switch {
+	case r.Monochromatic:
+		fmt.Fprintf(a.W, "monochromatic (color %d) after %d rounds\n", int(r.FinalColor), r.Rounds)
+	case r.Cycle:
+		fmt.Fprintf(a.W, "period-2 cycle detected after %d rounds\n", r.Rounds)
+	case r.FixedPoint:
+		fmt.Fprintf(a.W, "fixed point after %d rounds\n", r.Rounds)
+	default:
+		fmt.Fprintf(a.W, "round budget exhausted after %d rounds\n", r.Rounds)
+	}
+}
+
+// StatsCollector is an Observer that accumulates per-round statistics of
+// the spread of a target color.  Like HistoryRecorder it keeps accumulating
+// if reused across runs; call Reset between runs for per-run statistics.
+type StatsCollector struct {
+	// Target is the tracked color.
+	Target Color
+	// TargetCounts[i] is the number of Target-colored vertices after round
+	// i+1.
+	TargetCounts []int
+	// Rounds is the number of rounds observed.
+	Rounds int
+	// PeakGain is the largest increase of the target count between two
+	// consecutive observed rounds.
+	PeakGain int
+	// Final is the Result of the finished run (nil until OnFinish).
+	Final *Result
+
+	prev int
+	seen bool
+}
+
+// NewStatsCollector tracks the spread of the target color.
+func NewStatsCollector(target Color) *StatsCollector {
+	return &StatsCollector{Target: target}
+}
+
+// OnRound accumulates the target count for the round.
+func (s *StatsCollector) OnRound(round int, c *Coloring) {
+	n := c.Count(s.Target)
+	if s.seen && n-s.prev > s.PeakGain {
+		s.PeakGain = n - s.prev
+	}
+	s.prev, s.seen = n, true
+	s.TargetCounts = append(s.TargetCounts, n)
+	s.Rounds = round
+}
+
+// OnFinish remembers the final result.
+func (s *StatsCollector) OnFinish(r *Result) { s.Final = r }
+
+// Reset drops all accumulated state (but keeps Target) so the collector
+// can be reused for another run.
+func (s *StatsCollector) Reset() {
+	s.TargetCounts, s.Rounds, s.PeakGain, s.Final = nil, 0, 0, nil
+	s.prev, s.seen = 0, false
+}
+
+// Takeover reports whether the run ended with every vertex on the target
+// color.
+func (s *StatsCollector) Takeover() bool {
+	return s.Final != nil && s.Final.Monochromatic && s.Final.FinalColor == s.Target
+}

@@ -1,0 +1,147 @@
+package dynmon
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Config is the explicit form of a System description.  Most callers use
+// New with functional options instead; the struct exists for callers that
+// unmarshal configuration from files or flags.
+type Config struct {
+	// TopologyName is resolved through the topology registry ("mesh",
+	// "toroidal-mesh", "cordalis", ... or any registered name) with the
+	// Rows×Cols dimensions.  Ignored when Topology is non-nil.
+	TopologyName string
+	Rows, Cols   int
+	// Topology, when non-nil, is used directly.
+	Topology Topology
+	// Colors is the palette size K.
+	Colors int
+	// RuleName is resolved through the rule registry ("smp",
+	// "simple-majority-pb", ... or any registered name).  Ignored when Rule
+	// is non-nil.
+	RuleName string
+	// Rule, when non-nil, is used directly.
+	Rule Rule
+}
+
+// Option configures New.
+type Option func(*Config) error
+
+// Mesh selects an m×n toroidal mesh topology.
+func Mesh(m, n int) Option { return WithTopology("toroidal-mesh", m, n) }
+
+// Cordalis selects an m×n torus cordalis topology.
+func Cordalis(m, n int) Option { return WithTopology("torus-cordalis", m, n) }
+
+// Serpentinus selects an m×n torus serpentinus topology.
+func Serpentinus(m, n int) Option { return WithTopology("torus-serpentinus", m, n) }
+
+// WithTopology selects a registered topology by name ("mesh", "cordalis",
+// "serpentinus", the full paper names, or any name added through
+// RegisterTopology) with the given dimensions.
+func WithTopology(name string, m, n int) Option {
+	return func(c *Config) error {
+		c.TopologyName, c.Rows, c.Cols, c.Topology = name, m, n, nil
+		return nil
+	}
+}
+
+// WithTopologyInstance uses an already-constructed topology.
+func WithTopologyInstance(t Topology) Option {
+	return func(c *Config) error {
+		if t == nil {
+			return fmt.Errorf("dynmon: nil topology")
+		}
+		c.Topology = t
+		return nil
+	}
+}
+
+// Colors sets the palette size K (the color set is {1..K}).
+func Colors(k int) Option {
+	return func(c *Config) error {
+		c.Colors = k
+		return nil
+	}
+}
+
+// WithRule selects a registered rule by name ("smp", "simple-majority-pb",
+// "pb", ... or any name added through RegisterRule).
+func WithRule(name string) Option {
+	return func(c *Config) error {
+		c.RuleName, c.Rule = name, nil
+		return nil
+	}
+}
+
+// WithRuleInstance uses an already-constructed rule, e.g. one with
+// non-default parameters.
+func WithRuleInstance(r Rule) Option {
+	return func(c *Config) error {
+		if r == nil {
+			return fmt.Errorf("dynmon: nil rule")
+		}
+		c.Rule = r
+		return nil
+	}
+}
+
+// RunOption configures a single Run (or every run of a Session batch).
+type RunOption func(*sim.Options)
+
+// buildRunOptions folds RunOptions into the engine's option struct.
+func buildRunOptions(opts []RunOption) sim.Options {
+	var o sim.Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+// MaxRounds bounds the number of synchronous rounds (0 selects the default
+// budget for the topology, generous enough that non-convergence means "not
+// a dynamo").
+func MaxRounds(n int) RunOption {
+	return func(o *sim.Options) { o.MaxRounds = n }
+}
+
+// Target tracks the spread of color k: per-vertex first-reach times and
+// whether the k-colored set evolved monotonically.
+func Target(k Color) RunOption {
+	return func(o *sim.Options) { o.Target = k }
+}
+
+// StopWhenMonochromatic stops the run as soon as every vertex has the same
+// color (the dynamo success condition).
+func StopWhenMonochromatic() RunOption {
+	return func(o *sim.Options) { o.StopWhenMonochromatic = true }
+}
+
+// DetectCycles stops the run when a period-2 oscillation is detected.
+func DetectCycles() RunOption {
+	return func(o *sim.Options) { o.DetectCycles = true }
+}
+
+// RecordHistory keeps a copy of the configuration after every round on
+// Result.History.
+func RecordHistory() RunOption {
+	return func(o *sim.Options) { o.RecordHistory = true }
+}
+
+// Parallel enables the striped parallel stepper with the given worker
+// count (0 selects GOMAXPROCS).  The effective count — capped at the vertex
+// count — is reported on Result.Workers.  Parallel and sequential runs are
+// bit-identical.
+func Parallel(workers int) RunOption {
+	return func(o *sim.Options) { o.Parallel, o.Workers = true, workers }
+}
+
+// WithObserver notifies o after every round (OnRound) and when the run
+// stops on its own (OnFinish).  May be given multiple times; observers run
+// in order from the run's driving goroutine.
+func WithObserver(obs Observer) RunOption {
+	return func(o *sim.Options) { o.Observers = append(o.Observers, obs) }
+}

@@ -1,0 +1,106 @@
+package dynmon
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/ascii"
+	"repro/internal/dynamo"
+	"repro/internal/sim"
+)
+
+// Report is the outcome of verifying a configuration.
+type Report struct {
+	// Construction names the verified configuration.
+	Construction string
+	// SeedSize, LowerBound and Rounds summarize the run.
+	SeedSize   int
+	LowerBound int
+	Rounds     int
+	// PredictedRounds is the Theorem 7/8 value for the topology.
+	PredictedRounds int
+	// IsDynamo, Monotone and ConditionsOK are the three judgements of the
+	// paper's framework.
+	IsDynamo     bool
+	Monotone     bool
+	ConditionsOK bool
+	// Result is the underlying simulation trace.
+	Result *Result
+}
+
+// Summary renders the report as a short human-readable paragraph.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: seed %d (lower bound %d), ", r.Construction, r.SeedSize, r.LowerBound)
+	if r.IsDynamo {
+		fmt.Fprintf(&b, "monochromatic after %d rounds (paper formula: %d)", r.Rounds, r.PredictedRounds)
+	} else {
+		fmt.Fprintf(&b, "did NOT reach the monochromatic configuration (%d rounds simulated)", r.Rounds)
+	}
+	fmt.Fprintf(&b, "; monotone=%v, theorem conditions hold=%v", r.Monotone, r.ConditionsOK)
+	return b.String()
+}
+
+// verifyOptions are the engine options every dynamo judgement runs with.
+func verifyOptions(target Color) sim.Options {
+	return sim.Options{
+		Target:                target,
+		StopWhenMonochromatic: true,
+		DetectCycles:          true,
+	}
+}
+
+// reportFromResult assembles the standard dynamo judgement of a finished
+// run; it is the single place where Result fields become Report fields.
+func (s *System) reportFromResult(name string, seedSize int, target Color, res *Result) *Report {
+	return &Report{
+		Construction:    name,
+		SeedSize:        seedSize,
+		LowerBound:      s.LowerBound(),
+		Rounds:          res.Rounds,
+		PredictedRounds: s.PredictedRounds(),
+		IsDynamo:        res.Monochromatic && res.FinalColor == target,
+		Monotone:        res.MonotoneTarget,
+		Result:          res,
+	}
+}
+
+// Verify runs the system's rule on a construction and summarizes the
+// outcome against the paper's bounds and theorem conditions.
+func (s *System) Verify(c *Construction) *Report {
+	rep := s.VerifyColoring(c.Coloring, c.Target)
+	rep.Construction = c.Name
+	rep.SeedSize = c.SeedSize()
+	rep.ConditionsOK = dynamo.CheckTheoremConditions(c) == nil
+	return rep
+}
+
+// VerifyColoring is Verify for an arbitrary initial coloring and target,
+// judged under the system's own rule (not necessarily the SMP-Protocol).
+// It runs on the system's cached engine, so repeated verification does not
+// rebuild adjacency tables.
+func (s *System) VerifyColoring(initial *Coloring, target Color) *Report {
+	res := s.engine.Run(initial, verifyOptions(target))
+	return s.reportFromResult("custom coloring", initial.Count(target), target, res)
+}
+
+// TimingMatrix returns the per-vertex recoloring times of a configuration
+// (the data of the paper's Figures 5 and 6) together with its ASCII
+// rendering.
+func (s *System) TimingMatrix(initial *Coloring, target Color) ([][]int, string) {
+	m, _ := analysis.TimingMatrix(s.topo, initial, target)
+	return m, ascii.IntMatrix(m)
+}
+
+// Render renders a coloring as a bordered ASCII grid with a legend; the
+// highlight color (if not None) is drawn as 'B' to match the paper's
+// black-node figures.
+func Render(c *Coloring, highlight Color) string { return ascii.Coloring(c, highlight) }
+
+// RenderIntMatrix renders an integer matrix with aligned columns, in the
+// style of the paper's Figures 5 and 6.
+func RenderIntMatrix(m [][]int) string { return ascii.IntMatrix(m) }
+
+// Banner renders a one-line section header.
+func Banner(title string) string { return ascii.Banner(title) }

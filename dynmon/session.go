@@ -1,0 +1,132 @@
+package dynmon
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Session fans batches of independent simulations across a bounded worker
+// pool sharing the system's single immutable engine — the building block
+// for serving many verification requests over one topology/rule pair
+// without rebuilding adjacency tables per request.
+//
+// Each simulation inside a batch runs on the engine's sequential stepper,
+// so results are bit-identical to one-at-a-time System.Run calls; the
+// parallelism is across batch items.  A Session is safe for concurrent use
+// by multiple goroutines; each batch call gets its own pool of up to
+// Workers goroutines.
+type Session struct {
+	sys     *System
+	workers int
+}
+
+// NewSession returns a session running at most workers simulations of a
+// batch concurrently (workers <= 0 selects runtime.GOMAXPROCS(0)).
+func (s *System) NewSession(workers int) *Session {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Session{sys: s, workers: workers}
+}
+
+// System returns the session's system.
+func (se *Session) System() *System { return se.sys }
+
+// Workers returns the pool bound.
+func (se *Session) Workers() int { return se.workers }
+
+// RunBatch evolves every initial coloring under the system's rule and
+// returns one Result per input, in input order.  The run options apply to
+// every item.  When ctx is canceled mid-batch the call returns ctx.Err();
+// entries whose simulation did not complete are nil.
+func (se *Session) RunBatch(ctx context.Context, initials []*Coloring, opts ...RunOption) ([]*Result, error) {
+	opt := buildRunOptions(opts)
+	// Per-run parallel stepping would oversubscribe the pool; the batch is
+	// the unit of parallelism.
+	opt.Parallel = false
+	results := make([]*Result, len(initials))
+	err := se.forEach(ctx, len(initials), func(ctx context.Context, i int) error {
+		res, err := se.sys.engine.RunContext(ctx, initials[i], opt)
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		return nil
+	})
+	return results, err
+}
+
+// VerifyBatch runs every initial coloring to its verdict under the
+// system's rule and returns one Report per input, in input order.  When ctx
+// is canceled mid-batch the call returns ctx.Err(); entries whose
+// simulation did not complete are nil.
+func (se *Session) VerifyBatch(ctx context.Context, initials []*Coloring, target Color) ([]*Report, error) {
+	opt := verifyOptions(target)
+	reports := make([]*Report, len(initials))
+	err := se.forEach(ctx, len(initials), func(ctx context.Context, i int) error {
+		res, err := se.sys.engine.RunContext(ctx, initials[i], opt)
+		if err != nil {
+			return err
+		}
+		reports[i] = se.sys.reportFromResult("batch coloring", initials[i].Count(target), target, res)
+		return nil
+	})
+	return reports, err
+}
+
+// forEach runs fn(0..n-1) on up to se.workers goroutines and returns the
+// first error (worker errors win over the context error only in the sense
+// that both are ctx.Err() here; fn errors are surfaced as-is).
+func (se *Session) forEach(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
+	workers := se.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(ctx, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	indices := make(chan int)
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	workCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				if workCtx.Err() != nil {
+					continue // drain without working after a failure
+				}
+				if err := fn(workCtx, i); err != nil {
+					errOnce.Do(func() { firstErr = err })
+					cancel()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		indices <- i
+	}
+	close(indices)
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	// The pool may have drained without running anything (e.g. the parent
+	// context was already canceled); surface that.
+	return ctx.Err()
+}

@@ -13,46 +13,58 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/color"
-	"repro/internal/core"
+	"repro/dynmon"
 	"repro/internal/dynamo"
-	"repro/internal/grid"
 	"repro/internal/rules"
 )
 
 func main() {
 	const m, n = 8, 8
-	faulty := color.Color(1)
+	faulty := dynmon.Color(1)
 
 	// A classical bi-colored torus: faulty row + column ("cross" pattern).
-	biSys, err := core.NewSystem("toroidal-mesh", m, n, 2)
+	// Each rule gets its own system over the same topology; the engine is
+	// rebuilt per rule but the coloring is shared.
+	biSys, err := dynmon.New(dynmon.Mesh(m, n), dynmon.Colors(2))
 	if err != nil {
 		log.Fatal(err)
 	}
-	cross := color.NewColoring(biSys.Topology.Dims(), 2)
+	cross := biSys.NewColoring(2)
 	cross.FillRow(0, faulty)
 	cross.FillCol(0, faulty)
 
 	fmt.Printf("bi-colored %dx%d torus, %d faulty processors in a cross pattern\n\n", m, n, cross.Count(faulty))
-	for _, ruleName := range []string{"simple-majority-pb", "simple-majority-pc", "strong-majority", "smp"} {
-		r, err := rules.ByName(ruleName)
+	// Prefer-Black must prefer the *faulty* color, so the rule is built as
+	// an instance rather than resolved by name (the registry default
+	// prefers color 2, the paper's generic "black" label).
+	ruleSet := []struct {
+		name string
+		opt  dynmon.Option
+	}{
+		{"simple-majority-pb", dynmon.WithRuleInstance(rules.SimpleMajorityPB{Black: faulty})},
+		{"simple-majority-pc", dynmon.WithRule("simple-majority-pc")},
+		{"strong-majority", dynmon.WithRule("strong-majority")},
+		{"smp", dynmon.WithRule("smp")},
+	}
+	for _, rc := range ruleSet {
+		ruleSys, err := dynmon.New(dynmon.Mesh(m, n), dynmon.Colors(2), rc.opt)
 		if err != nil {
 			log.Fatal(err)
 		}
-		v := dynamo.VerifyUnderRule(biSys.Topology, cross, faulty, r)
+		rep := ruleSys.VerifyColoring(cross, faulty)
 		outcome := "system survives (fault containment)"
-		if v.IsDynamo {
-			outcome = fmt.Sprintf("system fully corrupted after %d rounds", v.Rounds)
+		if rep.IsDynamo {
+			outcome = fmt.Sprintf("system fully corrupted after %d rounds", rep.Rounds)
 		}
-		fmt.Printf("  %-20s -> %s\n", ruleName, outcome)
+		fmt.Printf("  %-20s -> %s\n", rc.name, outcome)
 	}
 	fmt.Println("\nthe Prefer-Black tie rule of [15] lets the cross corrupt everything, while")
 	fmt.Println("the SMP-Protocol's neutral ties contain it — the paper's Remark 1 in action.")
 
 	// In the multicolored world the adversary needs the Theorem 2 pattern.
 	fmt.Println("\nmulticolored torus (5 states): the smallest corrupting patterns per topology")
-	for _, kind := range grid.Kinds() {
-		sys, err := core.NewSystem(kind.String(), m, n, 5)
+	for _, name := range []string{"toroidal-mesh", "torus-cordalis", "torus-serpentinus"} {
+		sys, err := dynmon.New(dynmon.WithTopology(name, m, n), dynmon.Colors(5))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -62,15 +74,18 @@ func main() {
 		}
 		rep := sys.Verify(cons)
 		fmt.Printf("  %-18s %2d faulty processors corrupt all %d in %2d rounds (paper bound %d, formula %d)\n",
-			kind.String(), cons.SeedSize(), m*n, rep.Rounds, sys.LowerBound(), sys.PredictedRounds())
+			name, cons.SeedSize(), m*n, rep.Rounds, sys.LowerBound(), sys.PredictedRounds())
 	}
 
 	// Counterexample: one fault fewer and the system survives.
-	under, err := dynamo.UndersizedSeed(m, n, faulty, color.MustPalette(5))
+	sys, err := dynmon.New(dynmon.Mesh(m, n), dynmon.Colors(5))
 	if err != nil {
 		log.Fatal(err)
 	}
-	sys, _ := core.NewSystem("toroidal-mesh", m, n, 5)
+	under, err := dynamo.UndersizedSeed(m, n, faulty, sys.Palette())
+	if err != nil {
+		log.Fatal(err)
+	}
 	rep := sys.Verify(under)
 	fmt.Printf("\nwith only %d faulty processors (one below the bound) the mesh survives: takeover=%v\n",
 		under.SeedSize(), rep.IsDynamo)

@@ -1,5 +1,6 @@
 // Quickstart: build the paper's minimum-size dynamo on a 9x9 toroidal mesh,
-// verify it with the simulation engine, and print the evolution summary.
+// verify it with the simulation engine, and print the evolution summary —
+// all through the public dynmon package.
 //
 // Run with:
 //
@@ -7,17 +8,17 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/ascii"
-	"repro/internal/core"
+	"repro/dynmon"
 )
 
 func main() {
 	// A 9x9 toroidal mesh with five colors; color 1 is the color we want to
 	// spread ("black" in the paper's figures).
-	sys, err := core.NewSystem("toroidal-mesh", 9, 9, 5)
+	sys, err := dynmon.New(dynmon.Mesh(9, 9), dynmon.Colors(5), dynmon.WithRule("smp"))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -32,9 +33,23 @@ func main() {
 	fmt.Printf("construction %q, seed size %d, lower bound %d\n\n",
 		cons.Name, cons.SeedSize(), sys.LowerBound())
 	fmt.Println("initial configuration (B = the spreading color):")
-	fmt.Println(ascii.Coloring(cons.Coloring, cons.Target))
+	fmt.Println(dynmon.Render(cons.Coloring, cons.Target))
 
-	// Run the SMP-Protocol until the torus is monochromatic.
+	// Run the SMP-Protocol until the torus is monochromatic, watching the
+	// spread with a stats observer.  Run is context-aware: pass a deadline
+	// to bound long simulations.
+	stats := dynmon.NewStatsCollector(cons.Target)
+	res, err := sys.Run(context.Background(), cons.Coloring,
+		dynmon.Target(cons.Target),
+		dynmon.StopWhenMonochromatic(),
+		dynmon.WithObserver(stats))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("takeover=%v after %d rounds; per-round counts %v\n",
+		stats.Takeover(), res.Rounds, stats.TargetCounts)
+
+	// The full report checks the paper's bounds and theorem conditions.
 	report := sys.Verify(cons)
 	fmt.Println(report.Summary())
 

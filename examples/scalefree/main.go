@@ -6,7 +6,10 @@
 // The example generates a Barabási–Albert network, spreads an opinion from
 // hub, random and greedy-TSS seed sets under both the generalized SMP rule
 // and the irreversible linear-threshold rule, and compares the outcome with
-// the Deffuant bounded-confidence model on the same graph.
+// the Deffuant bounded-confidence model on the same graph.  Scale-free
+// graphs are not tori, so the example drives the general-graph engine
+// directly; the recoloring rule itself is resolved through the dynmon rule
+// registry, the same catalog the torus tools use.
 //
 // Run with:
 //
@@ -17,10 +20,10 @@ import (
 	"fmt"
 	"log"
 
+	"repro/dynmon"
 	"repro/internal/graphs"
 	"repro/internal/opinion"
 	"repro/internal/rng"
-	"repro/internal/rules"
 )
 
 func main() {
@@ -32,7 +35,12 @@ func main() {
 	fmt.Printf("Barabási–Albert network: %d vertices, %d edges, max degree %d, average degree %.1f\n\n",
 		g.N(), g.EdgeCount(), g.MaxDegree(), g.AverageDegree())
 
-	threshold := rules.Threshold{Target: 1, Theta: 2}
+	// The irreversible linear-threshold rule (Kempe/Kleinberg/Tardos
+	// style), by registry name.
+	threshold, err := dynmon.RuleByName("threshold")
+	if err != nil {
+		log.Fatal(err)
+	}
 	smp := graphs.GeneralizedSMP{}
 
 	fmt.Println("opinion spreading from small seed sets (fraction of the network activated):")

@@ -12,10 +12,9 @@ import (
 	"fmt"
 	"log"
 
+	"repro/dynmon"
 	"repro/internal/analysis"
-	"repro/internal/ascii"
 	"repro/internal/color"
-	"repro/internal/core"
 	"repro/internal/dynamo"
 	"repro/internal/grid"
 	"repro/internal/rules"
@@ -25,7 +24,7 @@ import (
 func main() {
 	// Figures 5 and 6.
 	for _, fig := range []int{5, 6} {
-		out, err := core.Figure(fig)
+		out, err := dynmon.Figure(fig)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -33,7 +32,7 @@ func main() {
 	}
 
 	// Theorem 7 on growing square meshes.
-	fmt.Println(ascii.Banner("Theorem 7 check: full-cross convergence time on square meshes"))
+	fmt.Println(dynmon.Banner("Theorem 7 check: full-cross convergence time on square meshes"))
 	fmt.Printf("%-8s %-12s %-10s\n", "size", "formula", "measured")
 	for _, size := range []int{5, 9, 13, 17, 25} {
 		cons, err := dynamo.FullCross(size, size, 1, color.MustPalette(5))
@@ -47,7 +46,7 @@ func main() {
 
 	// Theorem 8 on the cordalis.
 	fmt.Println()
-	fmt.Println(ascii.Banner("Theorem 8 check: cordalis convergence time"))
+	fmt.Println(dynmon.Banner("Theorem 8 check: cordalis convergence time"))
 	fmt.Printf("%-8s %-12s %-10s\n", "size", "formula", "measured")
 	for _, size := range [][2]int{{5, 5}, {7, 5}, {9, 7}, {11, 9}} {
 		cons, err := dynamo.CordalisMinimum(size[0], size[1], 1, color.MustPalette(6))
@@ -61,7 +60,7 @@ func main() {
 
 	// Slowdown under intermittent links (the conclusions' open problem).
 	fmt.Println()
-	fmt.Println(ascii.Banner("Slowdown of the 9x9 Theorem 2 dynamo under intermittent links"))
+	fmt.Println(dynmon.Banner("Slowdown of the 9x9 Theorem 2 dynamo under intermittent links"))
 	cons, err := dynamo.MeshMinimum(9, 9, 1, color.MustPalette(5))
 	if err != nil {
 		log.Fatal(err)
@@ -88,11 +87,11 @@ func main() {
 	// The exact measured matrix for a 7x7 minimum construction, for
 	// comparison against the figures' diagonal pattern.
 	fmt.Println()
-	fmt.Println(ascii.Banner("Recoloring times of the 7x7 Theorem 2 configuration"))
+	fmt.Println(dynmon.Banner("Recoloring times of the 7x7 Theorem 2 configuration"))
 	cons7, err := dynamo.MeshMinimum(7, 7, 1, color.MustPalette(5))
 	if err != nil {
 		log.Fatal(err)
 	}
 	m, _ := analysis.TimingMatrix(cons7.Topology, cons7.Coloring, 1)
-	fmt.Print(ascii.IntMatrix(m))
+	fmt.Print(dynmon.RenderIntMatrix(m))
 }

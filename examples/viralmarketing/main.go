@@ -6,7 +6,8 @@
 // The example contrasts three seeding strategies on a 12x12 toroidal mesh:
 //
 //   - the paper's Theorem 2 seed (m+n-2 carefully placed adopters);
-//   - the same number of adopters placed uniformly at random;
+//   - the same number of adopters placed uniformly at random (a batch of
+//     trials fanned across a dynmon.Session worker pool);
 //   - a large "comb" seed (the Proposition 2 upper bound, about half the
 //     population) that works under any padding.
 //
@@ -16,11 +17,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/color"
-	"repro/internal/core"
+	"repro/dynmon"
 	"repro/internal/dynamo"
 	"repro/internal/grid"
 	"repro/internal/rng"
@@ -28,11 +29,11 @@ import (
 
 func main() {
 	const m, n, colors = 12, 12, 5
-	sys, err := core.NewSystem("toroidal-mesh", m, n, colors)
+	sys, err := dynmon.New(dynmon.Mesh(m, n), dynmon.Colors(colors))
 	if err != nil {
 		log.Fatal(err)
 	}
-	brand := color.Color(1)
+	brand := dynmon.Color(1)
 
 	fmt.Printf("population: %d individuals on a %dx%d toroidal mesh, %d competing opinions\n",
 		m*n, m, n, colors)
@@ -47,13 +48,23 @@ func main() {
 	fmt.Printf("[theorem-2 seeding]  %d adopters -> takeover=%v in %d rounds (monotone=%v)\n",
 		cons.SeedSize(), rep.IsDynamo, rep.Rounds, rep.Monotone)
 
-	// Strategy 2: the same budget, placed at random (averaged over trials).
+	// Strategy 2: the same budget, placed at random.  The trials are
+	// independent, so fan them across a session's worker pool.
 	src := rng.New(2024)
-	trials, wins := 20, 0
-	for i := 0; i < trials; i++ {
-		random := dynamo.RandomSeedColoring(sys.Topology, cons.SeedSize(), brand, sys.Palette,
+	const trials = 20
+	randomTrials := make([]*dynmon.Coloring, trials)
+	for i := range randomTrials {
+		randomTrials[i] = dynamo.RandomSeedColoring(sys.Topology(), cons.SeedSize(), brand, sys.Palette(),
 			func(b int) int { return src.Intn(b) })
-		if sys.VerifyColoring(random, brand).IsDynamo {
+	}
+	session := sys.NewSession(0) // 0 = one worker per CPU
+	reports, err := session.VerifyBatch(context.Background(), randomTrials, brand)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wins := 0
+	for _, r := range reports {
+		if r.IsDynamo {
 			wins++
 		}
 	}
@@ -62,7 +73,7 @@ func main() {
 
 	// Strategy 3: the comb upper bound (works regardless of how the rest of
 	// the population is colored, but needs ~half the population).
-	comb, err := dynamo.CombUpperBound(grid.KindToroidalMesh, m, n, brand, sys.Palette)
+	comb, err := dynamo.CombUpperBound(grid.KindToroidalMesh, m, n, brand, sys.Palette())
 	if err != nil {
 		log.Fatal(err)
 	}

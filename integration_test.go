@@ -1,11 +1,13 @@
-// Integration tests that exercise the public façade end to end, crossing
-// every package boundary the way the examples and command-line tools do.
+// Integration tests that exercise the public dynmon façade end to end,
+// crossing every package boundary the way the examples and command-line
+// tools do.
 package repro_test
 
 import (
 	"strings"
 	"testing"
 
+	"repro/dynmon"
 	"repro/internal/analysis"
 	"repro/internal/color"
 	"repro/internal/core"
@@ -24,7 +26,7 @@ import (
 func TestEndToEndAllTopologies(t *testing.T) {
 	for _, topology := range []string{"mesh", "cordalis", "serpentinus"} {
 		for _, size := range [][2]int{{6, 6}, {9, 7}, {12, 12}} {
-			sys, err := core.NewSystem(topology, size[0], size[1], 5)
+			sys, err := dynmon.New(dynmon.WithTopology(topology, size[0], size[1]), dynmon.Colors(5))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -71,7 +73,7 @@ func TestHeadlineFigures(t *testing.T) {
 		t.Error("Figure 6 not reproduced")
 	}
 	for fig := 1; fig <= 6; fig++ {
-		out, err := core.Figure(fig)
+		out, err := dynmon.Figure(fig)
 		if err != nil || !strings.Contains(out, "Figure") {
 			t.Errorf("figure %d rendering failed: %v", fig, err)
 		}
@@ -142,7 +144,10 @@ func TestLowerBoundStoryEndToEnd(t *testing.T) {
 // demands identical outputs, the property EXPERIMENTS.md relies on.
 func TestDeterministicReproduction(t *testing.T) {
 	run := func() string {
-		sys, _ := core.NewSystem("mesh", 10, 10, 5)
+		sys, err := dynmon.New(dynmon.Mesh(10, 10), dynmon.Colors(5))
+		if err != nil {
+			t.Fatal(err)
+		}
 		cons, err := sys.MinimumDynamo(2)
 		if err != nil {
 			t.Fatal(err)
@@ -159,5 +164,39 @@ func TestDeterministicReproduction(t *testing.T) {
 	g2, _ := graphs.NewBarabasiAlbert(100, 2, src2)
 	if g1.EdgeCount() != g2.EdgeCount() {
 		t.Error("graph generation is not deterministic")
+	}
+}
+
+// TestCoreShimParity keeps the deprecated internal/core shim honest until
+// it is deleted: it must produce the same judgements as dynmon.
+func TestCoreShimParity(t *testing.T) {
+	oldSys, err := core.NewSystem("mesh", 9, 9, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newSys, err := dynmon.New(dynmon.Mesh(9, 9), dynmon.Colors(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldCons, err := oldSys.MinimumDynamo(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newCons, err := newSys.MinimumDynamo(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !oldCons.Coloring.Equal(newCons.Coloring) {
+		t.Fatal("shim and dynmon build different constructions")
+	}
+	oldRep, newRep := oldSys.Verify(oldCons), newSys.Verify(newCons)
+	if oldRep.Summary() != newRep.Summary() {
+		t.Errorf("shim summary drifted:\n  core:   %s\n  dynmon: %s", oldRep.Summary(), newRep.Summary())
+	}
+	if oldSys.LowerBound() != newSys.LowerBound() || oldSys.PredictedRounds() != newSys.PredictedRounds() {
+		t.Error("shim bounds drifted")
+	}
+	if !oldSys.RandomColoring(7).Equal(newSys.RandomColoring(7)) {
+		t.Error("shim random colorings drifted")
 	}
 }

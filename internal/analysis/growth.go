@@ -17,9 +17,9 @@ func GrowthCurve(topo grid.Topology, initial *color.Coloring, target color.Color
 		Target:                target,
 		StopWhenMonochromatic: true,
 		DetectCycles:          true,
-		Listener: func(round int, c *color.Coloring) {
+		Observers: []sim.Observer{sim.RoundFunc(func(round int, c *color.Coloring) {
 			curve = append(curve, c.Count(target))
-		},
+		})},
 	})
 	return curve
 }

@@ -1,30 +1,24 @@
-// Package core is the high-level façade of the repository: it wires the
-// topologies, the SMP-Protocol, the dynamo constructions and the experiment
-// harness into a small API that the command-line tools and the examples use.
+// Package core was the high-level façade of the repository.  It has been
+// replaced by the public, context-aware repro/dynmon package and is now a
+// thin compatibility shim over it.
 //
-// The typical flow is:
-//
-//	sys, _ := core.NewSystem("toroidal-mesh", 9, 9, 5)
-//	cons, _ := sys.MinimumDynamo(1)
-//	report := sys.Verify(cons)
-//	fmt.Println(report.Summary())
+// Deprecated: import repro/dynmon instead.  Every symbol here delegates to
+// its dynmon equivalent; the package is slated for deletion in a later PR.
 package core
 
 import (
-	"fmt"
-	"strings"
-
+	"repro/dynmon"
 	"repro/internal/analysis"
-	"repro/internal/ascii"
 	"repro/internal/color"
 	"repro/internal/dynamo"
 	"repro/internal/grid"
-	"repro/internal/rng"
 	"repro/internal/rules"
 	"repro/internal/sim"
 )
 
 // System bundles a torus topology, a palette and a recoloring rule.
+//
+// Deprecated: use dynmon.System (built with dynmon.New) instead.
 type System struct {
 	// Topology is the interaction topology.
 	Topology grid.Topology
@@ -32,202 +26,115 @@ type System struct {
 	Palette color.Palette
 	// Rule is the local recoloring rule (the SMP-Protocol by default).
 	Rule rules.Rule
+
+	sys *dynmon.System
 }
 
-// NewSystem builds a system from a topology name ("toroidal-mesh",
-// "torus-cordalis", "torus-serpentinus" or the short forms "mesh",
-// "cordalis", "serpentinus"), torus dimensions and a palette size.  The rule
-// defaults to the SMP-Protocol; use WithRule to change it.
+// NewSystem builds a system from a topology name, torus dimensions and a
+// palette size.  The rule defaults to the SMP-Protocol.
+//
+// Deprecated: use dynmon.New(dynmon.WithTopology(topology, m, n),
+// dynmon.Colors(colors)) instead.
 func NewSystem(topology string, m, n, colors int) (*System, error) {
-	kind, err := grid.ParseKind(topology)
+	sys, err := dynmon.New(dynmon.WithTopology(topology, m, n), dynmon.Colors(colors))
 	if err != nil {
 		return nil, err
 	}
-	topo, err := grid.New(kind, m, n)
-	if err != nil {
-		return nil, err
-	}
-	p, err := color.NewPalette(colors)
-	if err != nil {
-		return nil, err
-	}
-	return &System{Topology: topo, Palette: p, Rule: rules.SMP{}}, nil
+	return wrap(sys), nil
 }
 
-// WithRule returns a copy of the system using the named rule (see
-// rules.Names for the accepted names).
+func wrap(sys *dynmon.System) *System {
+	return &System{
+		Topology: sys.Topology(),
+		Palette:  sys.Palette(),
+		Rule:     sys.Rule(),
+		sys:      sys,
+	}
+}
+
+// WithRule returns a copy of the system using the named rule.
+//
+// Deprecated: pass dynmon.WithRule(name) to dynmon.New instead.
 func (s *System) WithRule(name string) (*System, error) {
-	r, err := rules.ByName(name)
+	sys, err := dynmon.NewFromConfig(dynmon.Config{
+		Topology: s.Topology,
+		Colors:   s.Palette.K,
+		RuleName: name,
+	})
 	if err != nil {
 		return nil, err
 	}
-	out := *s
-	out.Rule = r
-	return &out, nil
+	return wrap(sys), nil
 }
 
 // MinimumDynamo builds the paper's tight construction for the system's
-// topology: Theorem 2 for the toroidal mesh, Theorem 4 for the torus
-// cordalis and Theorem 6 for the torus serpentinus.
+// topology.
+//
+// Deprecated: use dynmon.System.MinimumDynamo instead.
 func (s *System) MinimumDynamo(target color.Color) (*dynamo.Construction, error) {
-	d := s.Topology.Dims()
-	return dynamo.Minimum(s.Topology.Kind(), d.Rows, d.Cols, target, s.Palette)
+	return s.sys.MinimumDynamo(target)
 }
 
 // LowerBound returns the paper's lower bound on the size of a monotone
 // dynamo for the system's topology and size.
-func (s *System) LowerBound() int {
-	return dynamo.LowerBound(s.Topology.Kind(), s.Topology.Dims())
-}
+//
+// Deprecated: use dynmon.System.LowerBound instead.
+func (s *System) LowerBound() int { return s.sys.LowerBound() }
 
-// PredictedRounds returns the Theorem 7/8 convergence-time prediction for
-// the system's topology and size.
-func (s *System) PredictedRounds() int {
-	return dynamo.PredictedRounds(s.Topology.Kind(), s.Topology.Dims())
-}
+// PredictedRounds returns the Theorem 7/8 convergence-time prediction.
+//
+// Deprecated: use dynmon.System.PredictedRounds instead.
+func (s *System) PredictedRounds() int { return s.sys.PredictedRounds() }
 
 // RandomColoring returns a uniformly random coloring of the system's torus.
+//
+// Deprecated: use dynmon.System.RandomColoring instead.
 func (s *System) RandomColoring(seed uint64) *color.Coloring {
-	src := rng.New(seed)
-	return color.RandomColoring(s.Topology.Dims(), s.Palette, func() int { return src.Intn(s.Palette.K) })
+	return s.sys.RandomColoring(seed)
 }
 
 // Simulate runs the system's rule on the initial coloring until it freezes,
 // cycles, becomes monochromatic or exhausts the default round budget.
+//
+// Deprecated: use dynmon.System.Run, which is context-aware, instead.
 func (s *System) Simulate(initial *color.Coloring, target color.Color) *sim.Result {
-	return sim.Run(s.Topology, s.Rule, initial, sim.Options{
-		Target:                target,
-		StopWhenMonochromatic: true,
-		DetectCycles:          true,
-	})
+	rep := s.sys.VerifyColoring(initial, target)
+	return rep.Result
 }
 
 // Report is the outcome of verifying a configuration.
-type Report struct {
-	// Construction names the verified configuration.
-	Construction string
-	// SeedSize, LowerBound and Rounds summarize the run.
-	SeedSize   int
-	LowerBound int
-	Rounds     int
-	// PredictedRounds is the Theorem 7/8 value for the topology.
-	PredictedRounds int
-	// IsDynamo, Monotone and ConditionsOK are the three judgements of the
-	// paper's framework.
-	IsDynamo     bool
-	Monotone     bool
-	ConditionsOK bool
-	// Result is the underlying simulation trace.
-	Result *sim.Result
-}
+//
+// Deprecated: use dynmon.Report instead.
+type Report = dynmon.Report
 
-// Summary renders the report as a short human-readable paragraph.
-func (r *Report) Summary() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%s: seed %d (lower bound %d), ", r.Construction, r.SeedSize, r.LowerBound)
-	if r.IsDynamo {
-		fmt.Fprintf(&b, "monochromatic after %d rounds (paper formula: %d)", r.Rounds, r.PredictedRounds)
-	} else {
-		fmt.Fprintf(&b, "did NOT reach the monochromatic configuration (%d rounds simulated)", r.Rounds)
-	}
-	fmt.Fprintf(&b, "; monotone=%v, theorem conditions hold=%v", r.Monotone, r.ConditionsOK)
-	return b.String()
-}
-
-// Verify runs the SMP-Protocol on a construction and summarizes the outcome.
-func (s *System) Verify(c *dynamo.Construction) *Report {
-	v := dynamo.Verify(c)
-	return &Report{
-		Construction:    c.Name,
-		SeedSize:        c.SeedSize(),
-		LowerBound:      s.LowerBound(),
-		Rounds:          v.Rounds,
-		PredictedRounds: s.PredictedRounds(),
-		IsDynamo:        v.IsDynamo,
-		Monotone:        v.Monotone,
-		ConditionsOK:    dynamo.CheckTheoremConditions(c) == nil,
-		Result:          v.Result,
-	}
-}
+// Verify runs the SMP-Protocol on a construction and summarizes the
+// outcome.
+//
+// Deprecated: use dynmon.System.Verify instead.
+func (s *System) Verify(c *dynamo.Construction) *Report { return s.sys.Verify(c) }
 
 // VerifyColoring is Verify for an arbitrary initial coloring and target.
+//
+// Deprecated: use dynmon.System.VerifyColoring instead.
 func (s *System) VerifyColoring(initial *color.Coloring, target color.Color) *Report {
-	v := dynamo.VerifyColoring(s.Topology, initial, target)
-	return &Report{
-		Construction:    "custom coloring",
-		SeedSize:        initial.Count(target),
-		LowerBound:      s.LowerBound(),
-		Rounds:          v.Rounds,
-		PredictedRounds: s.PredictedRounds(),
-		IsDynamo:        v.IsDynamo,
-		Monotone:        v.Monotone,
-		Result:          v.Result,
-	}
+	return s.sys.VerifyColoring(initial, target)
 }
 
 // TimingMatrix returns the per-vertex recoloring times of a configuration
-// (the data of the paper's Figures 5 and 6) together with its ASCII
-// rendering.
+// together with its ASCII rendering.
+//
+// Deprecated: use dynmon.System.TimingMatrix instead.
 func (s *System) TimingMatrix(initial *color.Coloring, target color.Color) ([][]int, string) {
-	m, _ := analysis.TimingMatrix(s.Topology, initial, target)
-	return m, ascii.IntMatrix(m)
+	return s.sys.TimingMatrix(initial, target)
 }
 
 // Experiments returns the full experiment index (E01..E18).
-func Experiments() []analysis.Experiment { return analysis.All() }
+//
+// Deprecated: use dynmon.Experiments instead.
+func Experiments() []analysis.Experiment { return dynmon.Experiments() }
 
 // Figure regenerates one of the paper's figures (1-6) as ASCII art plus a
 // short caption.
-func Figure(number int) (string, error) {
-	p5 := color.MustPalette(5)
-	switch number {
-	case 1:
-		c, err := dynamo.Figure1(1, p5)
-		if err != nil {
-			return "", err
-		}
-		return ascii.Banner("Figure 1: a monotone dynamo of size m+n-2 = 16 on a 9x9 toroidal mesh") +
-			ascii.Coloring(c.Coloring, c.Target), nil
-	case 2:
-		c, err := dynamo.MeshMinimum(8, 8, 1, p5)
-		if err != nil {
-			return "", err
-		}
-		return ascii.Banner("Figure 2: the Theorem 2 minimum dynamo with its padding (8x8)") +
-			ascii.Coloring(c.Coloring, c.Target), nil
-	case 3:
-		c, err := dynamo.BlockedCross(8, 8, 1, p5)
-		if err != nil {
-			return "", err
-		}
-		return ascii.Banner("Figure 3: black nodes that do not constitute a dynamo (planted block)") +
-			ascii.Coloring(c.Coloring, c.Target), nil
-	case 4:
-		c, err := dynamo.FrozenTiling(8, 8, 1, color.MustPalette(4))
-		if err != nil {
-			return "", err
-		}
-		return ascii.Banner("Figure 4: a configuration in which no recoloring can arise") +
-			ascii.Coloring(c.Coloring, c.Target), nil
-	case 5:
-		c, err := dynamo.FullCross(5, 5, 1, p5)
-		if err != nil {
-			return "", err
-		}
-		m, _ := analysis.TimingMatrix(c.Topology, c.Coloring, 1)
-		return ascii.Banner("Figure 5: recoloring times on the 5x5 toroidal mesh (full cross)") +
-			ascii.SideBySide(ascii.IntMatrix(analysis.Figure5Reference()), ascii.IntMatrix(m), "   |   ") +
-			"(left: paper, right: measured)\n", nil
-	case 6:
-		c, err := dynamo.CordalisMinimum(5, 5, 1, color.MustPalette(6))
-		if err != nil {
-			return "", err
-		}
-		m, _ := analysis.TimingMatrix(c.Topology, c.Coloring, 1)
-		return ascii.Banner("Figure 6: recoloring times on the 5x5 torus cordalis (Theorem 4 seed)") +
-			ascii.SideBySide(ascii.IntMatrix(analysis.Figure6Reference()), ascii.IntMatrix(m), "   |   ") +
-			"(left: paper, right: measured)\n", nil
-	default:
-		return "", fmt.Errorf("core: the paper has figures 1 through 6, got %d", number)
-	}
-}
+//
+// Deprecated: use dynmon.Figure instead.
+func Figure(number int) (string, error) { return dynmon.Figure(number) }

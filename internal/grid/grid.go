@@ -124,18 +124,18 @@ func (k Kind) String() string {
 }
 
 // ParseKind converts a topology name (as produced by Kind.String) back to a
-// Kind.
+// Kind.  It accepts exactly the spellings of kindNames, which is also what
+// the registry pre-populates, so ParseKind and ByName agree by
+// construction.
 func ParseKind(s string) (Kind, error) {
-	switch s {
-	case "toroidal-mesh", "mesh", "toroidal_mesh":
-		return KindToroidalMesh, nil
-	case "torus-cordalis", "cordalis", "torus_cordalis":
-		return KindTorusCordalis, nil
-	case "torus-serpentinus", "serpentinus", "torus_serpentinus":
-		return KindTorusSerpentinus, nil
-	default:
-		return 0, fmt.Errorf("grid: unknown topology %q", s)
+	for _, k := range Kinds() {
+		for _, name := range kindNames(k) {
+			if s == name {
+				return k, nil
+			}
+		}
 	}
+	return 0, fmt.Errorf("grid: unknown topology %q", s)
 }
 
 // Topology is a 4-regular interaction topology over an m×n vertex lattice.

@@ -1,0 +1,135 @@
+package rules
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/color"
+)
+
+// legacyByName is the pre-registry lookup table, kept verbatim so the
+// parity tests below can assert that the registry resolves every historical
+// name to an identical implementation (no behavior drift during the dynmon
+// API redesign).
+func legacyByName(name string) (Rule, error) {
+	switch name {
+	case "smp":
+		return SMP{}, nil
+	case "simple-majority-pb", "pb":
+		return SimpleMajorityPB{Black: 2}, nil
+	case "simple-majority-pc", "pc":
+		return SimpleMajorityPC{}, nil
+	case "strong-majority":
+		return StrongMajority{}, nil
+	case "increment":
+		return Increment{K: 4}, nil
+	case "irreversible-smp":
+		return IrreversibleSMP{Target: 1}, nil
+	default:
+		return nil, fmt.Errorf("rules: unknown rule %q", name)
+	}
+}
+
+// TestRegistryLegacyParity asserts the registry returns implementations
+// identical to the pre-registry switch for every legacy name and alias.
+func TestRegistryLegacyParity(t *testing.T) {
+	legacyNames := []string{
+		"smp",
+		"simple-majority-pb", "pb",
+		"simple-majority-pc", "pc",
+		"strong-majority",
+		"increment",
+		"irreversible-smp",
+	}
+	for _, name := range legacyNames {
+		t.Run(name, func(t *testing.T) {
+			want, err := legacyByName(name)
+			if err != nil {
+				t.Fatalf("legacy table: %v", err)
+			}
+			got, err := ByName(name)
+			if err != nil {
+				t.Fatalf("ByName(%q): %v", name, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("ByName(%q) = %#v, legacy = %#v", name, got, want)
+			}
+			if got.Name() != want.Name() {
+				t.Fatalf("Name() drift: %q vs %q", got.Name(), want.Name())
+			}
+			// Behavioral spot check on every 4-neighbor multiset over a
+			// 3-color palette.
+			colors := []color.Color{1, 2, 3}
+			for _, cur := range colors {
+				for _, a := range colors {
+					for _, b := range colors {
+						for _, c := range colors {
+							for _, d := range colors {
+								ns := []color.Color{a, b, c, d}
+								if g, w := got.Next(cur, ns), want.Next(cur, ns); g != w {
+									t.Fatalf("Next(%v, %v) = %v, legacy %v", cur, ns, g, w)
+								}
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+	if _, err := ByName("no-such-rule"); err == nil {
+		t.Error("unknown names must still be rejected")
+	}
+}
+
+// registerOnce is Register tolerating re-registration, so tests stay
+// idempotent when the binary reruns them in one process (go test -count=N).
+func registerOnce(name string, factory Factory) {
+	if _, err := ByName(name); err != nil {
+		Register(name, factory)
+	}
+}
+
+// TestRegisterCustomRule exercises the extension point the registry exists
+// for: a rule registered at runtime is resolvable by name.
+func TestRegisterCustomRule(t *testing.T) {
+	registerOnce("test-constant", func() Rule { return constantRule{C: 3} })
+	r, err := ByName("test-constant")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Next(1, []color.Color{2, 2, 2, 2}); got != 3 {
+		t.Errorf("custom rule Next = %v, want 3", got)
+	}
+	found := false
+	for _, name := range RegisteredNames() {
+		if name == "test-constant" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("RegisteredNames should include the custom rule")
+	}
+}
+
+func TestRegisterRejectsDuplicatesAndNil(t *testing.T) {
+	mustPanic := func(name string, f Factory) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("Register(%q) should panic", name)
+			}
+		}()
+		Register(name, f)
+	}
+	mustPanic("smp", func() Rule { return SMP{} }) // duplicate
+	mustPanic("", func() Rule { return SMP{} })    // empty name
+	mustPanic("nil-factory", nil)                  // nil factory
+}
+
+// constantRule always moves to color C; it exists only for registry tests.
+type constantRule struct{ C color.Color }
+
+func (r constantRule) Name() string { return "test-constant" }
+func (r constantRule) Next(current color.Color, neighbors []color.Color) color.Color {
+	return r.C
+}

@@ -16,8 +16,6 @@
 package rules
 
 import (
-	"fmt"
-
 	"repro/internal/color"
 )
 
@@ -95,30 +93,3 @@ func (cs *counts) of(c color.Color) int {
 
 // distinct returns the number of distinct colors present.
 func (cs *counts) distinct() int { return cs.n }
-
-// ByName returns the rule registered under the given name, using the default
-// parameters documented on each constructor.  It is used by the command-line
-// tools.
-func ByName(name string) (Rule, error) {
-	switch name {
-	case "smp":
-		return SMP{}, nil
-	case "simple-majority-pb", "pb":
-		return SimpleMajorityPB{Black: 2}, nil
-	case "simple-majority-pc", "pc":
-		return SimpleMajorityPC{}, nil
-	case "strong-majority":
-		return StrongMajority{}, nil
-	case "increment":
-		return Increment{K: 4}, nil
-	case "irreversible-smp":
-		return IrreversibleSMP{Target: 1}, nil
-	default:
-		return nil, fmt.Errorf("rules: unknown rule %q", name)
-	}
-}
-
-// Names lists the rule names understood by ByName, for help messages.
-func Names() []string {
-	return []string{"smp", "simple-majority-pb", "simple-majority-pc", "strong-majority", "increment", "irreversible-smp"}
-}

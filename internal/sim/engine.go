@@ -12,6 +12,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 
@@ -43,10 +44,36 @@ type Options struct {
 	DetectCycles bool
 	// RecordHistory keeps a copy of the configuration after every round.
 	RecordHistory bool
-	// Listener, when non-nil, is invoked after every round with the round
-	// number (1-based) and the configuration reached at the end of that
-	// round.  The coloring must not be retained.
-	Listener func(round int, c *color.Coloring)
+	// Observers are notified after every round (OnRound) and when the run
+	// stops on its own (OnFinish).  They replace the former Listener
+	// callback; see the Observer documentation for the exact contract.
+	Observers []Observer
+}
+
+// EffectiveWorkers returns the number of stepping goroutines a run with
+// these options actually uses on a torus of n vertices:
+//
+//   - 1 when Parallel is unset (the sequential path ignores Workers);
+//   - otherwise Workers (or runtime.GOMAXPROCS(0) when Workers <= 0),
+//     capped at n so no goroutine gets an empty stripe, with a floor of 1.
+//
+// Run records this value on Result.Workers so callers can see the real
+// parallelism rather than the requested one.
+func (o Options) EffectiveWorkers(n int) int {
+	if !o.Parallel {
+		return 1
+	}
+	workers := o.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
 }
 
 // DefaultMaxRounds returns a generous round budget for the given dimensions.
@@ -59,6 +86,9 @@ func DefaultMaxRounds(d grid.Dims) int { return 3*d.N() + 16 }
 type Result struct {
 	// Rounds is the number of rounds executed.
 	Rounds int
+	// Workers is the effective number of stepping goroutines used: 1 on
+	// the sequential path, Options.EffectiveWorkers on the parallel path.
+	Workers int
 	// FixedPoint reports that the last round changed no vertex.
 	FixedPoint bool
 	// Cycle reports that a period-2 oscillation was detected.
@@ -180,8 +210,20 @@ func (e *Engine) Step(cur, next *color.Coloring) int {
 }
 
 // Run evolves the initial coloring under the engine's rule until a stop
-// condition holds.  The initial coloring is not modified.
+// condition holds.  The initial coloring is not modified.  It is RunContext
+// with a background context (which can never abort the run).
 func (e *Engine) Run(initial *color.Coloring, opt Options) *Result {
+	res, _ := e.RunContext(context.Background(), initial, opt)
+	return res
+}
+
+// RunContext is Run with cancellation: the context is checked at every
+// round boundary, and when it is canceled (or its deadline passes) the run
+// stops promptly and returns the partial Result together with ctx.Err().
+// Observers do not receive OnFinish for an aborted run.
+//
+// On a nil error the returned Result is complete, exactly as from Run.
+func (e *Engine) RunContext(ctx context.Context, initial *color.Coloring, opt Options) (*Result, error) {
 	d := e.topo.Dims()
 	if initial.Dims() != d {
 		panic(fmt.Sprintf("sim: Run dimension mismatch %v vs %v", initial.Dims(), d))
@@ -190,10 +232,7 @@ func (e *Engine) Run(initial *color.Coloring, opt Options) *Result {
 	if maxRounds <= 0 {
 		maxRounds = DefaultMaxRounds(d)
 	}
-	workers := opt.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	workers := opt.EffectiveWorkers(d.N())
 
 	cur := initial.Clone()
 	next := initial.Clone()
@@ -202,7 +241,7 @@ func (e *Engine) Run(initial *color.Coloring, opt Options) *Result {
 		prevPrev = initial.Clone()
 	}
 
-	res := &Result{MonotoneTarget: true}
+	res := &Result{MonotoneTarget: true, Workers: workers}
 	if opt.Target != color.None {
 		res.FirstReached = make([]int, d.N())
 		for v := 0; v < d.N(); v++ {
@@ -215,8 +254,16 @@ func (e *Engine) Run(initial *color.Coloring, opt Options) *Result {
 	}
 
 	for round := 1; round <= maxRounds; round++ {
+		if err := ctx.Err(); err != nil {
+			res.Final = cur.Clone()
+			res.FinalColor, res.Monochromatic = res.Final.IsMonochromatic()
+			if opt.Target == color.None {
+				res.MonotoneTarget = false
+			}
+			return res, err
+		}
 		var changed int
-		if opt.Parallel && workers > 1 {
+		if workers > 1 {
 			changed = e.stepParallel(cur.Cells(), next.Cells(), workers)
 		} else {
 			changed = e.stepRange(cur.Cells(), next.Cells(), 0, d.N())
@@ -238,8 +285,8 @@ func (e *Engine) Run(initial *color.Coloring, opt Options) *Result {
 		if opt.RecordHistory {
 			res.History = append(res.History, next.Clone())
 		}
-		if opt.Listener != nil {
-			opt.Listener(round, next)
+		for _, o := range opt.Observers {
+			o.OnRound(round, next)
 		}
 
 		if changed == 0 {
@@ -269,7 +316,10 @@ func (e *Engine) Run(initial *color.Coloring, opt Options) *Result {
 	if opt.Target == color.None {
 		res.MonotoneTarget = false
 	}
-	return res
+	for _, o := range opt.Observers {
+		o.OnFinish(res)
+	}
+	return res, nil
 }
 
 // Run is a convenience wrapper constructing a throwaway engine.  Prefer

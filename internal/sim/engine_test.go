@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+	"runtime"
 	"testing"
 	"testing/quick"
 
@@ -154,16 +156,114 @@ func TestRunRecordsHistoryAndChanges(t *testing.T) {
 	}
 }
 
-func TestRunListener(t *testing.T) {
+// finishCounter records OnFinish invocations alongside per-round callbacks.
+type finishCounter struct {
+	rounds   []int
+	finished int
+	last     *Result
+}
+
+func (f *finishCounter) OnRound(round int, c *color.Coloring) { f.rounds = append(f.rounds, round) }
+func (f *finishCounter) OnFinish(r *Result)                   { f.finished++; f.last = r }
+
+func TestRunObservers(t *testing.T) {
 	topo := grid.MustNew(grid.KindToroidalMesh, 5, 5)
 	eng := NewEngine(topo, rules.SMP{})
-	var rounds []int
-	eng.Run(crossColoring(5, 5, 1), Options{
+	obs := &finishCounter{}
+	var viaFunc []int
+	res := eng.Run(crossColoring(5, 5, 1), Options{
 		Target: 1, StopWhenMonochromatic: true,
-		Listener: func(round int, c *color.Coloring) { rounds = append(rounds, round) },
+		Observers: []Observer{
+			obs,
+			RoundFunc(func(round int, c *color.Coloring) { viaFunc = append(viaFunc, round) }),
+		},
 	})
-	if len(rounds) != 3 || rounds[0] != 1 || rounds[2] != 3 {
-		t.Errorf("listener rounds = %v", rounds)
+	if len(obs.rounds) != 3 || obs.rounds[0] != 1 || obs.rounds[2] != 3 {
+		t.Errorf("observer rounds = %v", obs.rounds)
+	}
+	if len(viaFunc) != len(obs.rounds) {
+		t.Errorf("RoundFunc saw %v, observer saw %v", viaFunc, obs.rounds)
+	}
+	if obs.finished != 1 || obs.last != res {
+		t.Errorf("OnFinish called %d times (result match %v)", obs.finished, obs.last == res)
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	topo := grid.MustNew(grid.KindToroidalMesh, 5, 5)
+	eng := NewEngine(topo, rules.SMP{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	obs := &finishCounter{}
+	res, err := eng.RunContext(ctx, crossColoring(5, 5, 1), Options{
+		Target: 1, StopWhenMonochromatic: true, Observers: []Observer{obs},
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil || res.Rounds != 0 {
+		t.Errorf("canceled run should return the partial result, got %+v", res)
+	}
+	if obs.finished != 0 {
+		t.Error("OnFinish must not fire for an aborted run")
+	}
+
+	// Cancellation mid-run: stop after the first round.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	mid, err := eng.RunContext(ctx2, crossColoring(5, 5, 1), Options{
+		Target: 1, StopWhenMonochromatic: true,
+		Observers: []Observer{RoundFunc(func(round int, c *color.Coloring) { cancel2() })},
+	})
+	if err != context.Canceled {
+		t.Fatalf("mid-run err = %v, want context.Canceled", err)
+	}
+	if mid.Rounds != 1 {
+		t.Errorf("mid-run stopped after %d rounds, want 1", mid.Rounds)
+	}
+	if mid.Final == nil {
+		t.Error("partial result should carry the last completed configuration")
+	}
+}
+
+func TestEffectiveWorkers(t *testing.T) {
+	cases := []struct {
+		opt  Options
+		n    int
+		want int
+	}{
+		{Options{}, 100, 1},                           // sequential path ignores Workers
+		{Options{Workers: 8}, 100, 1},                 // Workers without Parallel is ignored
+		{Options{Parallel: true, Workers: 4}, 100, 4}, // requested count honored
+		{Options{Parallel: true, Workers: 64}, 9, 9},  // capped at the vertex count
+		{Options{Parallel: true, Workers: 1}, 100, 1}, // parallel with one worker is sequential
+	}
+	for i, tc := range cases {
+		if got := tc.opt.EffectiveWorkers(tc.n); got != tc.want {
+			t.Errorf("case %d: EffectiveWorkers(%d) = %d, want %d", i, tc.n, got, tc.want)
+		}
+	}
+	// Non-positive Workers selects GOMAXPROCS, then caps at the vertex count.
+	gmp := runtime.GOMAXPROCS(0)
+	wantAuto := gmp
+	if wantAuto > 2 {
+		wantAuto = 2
+	}
+	if got := (Options{Parallel: true, Workers: -3}).EffectiveWorkers(2); got != wantAuto {
+		t.Errorf("EffectiveWorkers(2) with auto workers = %d, want %d", got, wantAuto)
+	}
+
+	topo := grid.MustNew(grid.KindToroidalMesh, 6, 6)
+	eng := NewEngine(topo, rules.SMP{})
+	seq := eng.Run(crossColoring(6, 6, 1), Options{Target: 1, StopWhenMonochromatic: true})
+	if seq.Workers != 1 {
+		t.Errorf("sequential Result.Workers = %d, want 1", seq.Workers)
+	}
+	par := eng.Run(crossColoring(6, 6, 1), Options{Target: 1, StopWhenMonochromatic: true, Parallel: true, Workers: 3})
+	if par.Workers != 3 {
+		t.Errorf("parallel Result.Workers = %d, want 3", par.Workers)
+	}
+	if !seq.Final.Equal(par.Final) || seq.Rounds != par.Rounds {
+		t.Error("parallel and sequential runs must be bit-identical")
 	}
 }
 
