@@ -111,6 +111,72 @@ func BenchmarkEngineStepParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineStepNearConvergence measures the regime the frontier
+// stepper was built for: a 64×64 torus whose dynamics have localized to a
+// handful of cells (a period-2 Prefer-Black oscillator — two diagonal black
+// cells trading places with their anti-diagonal forever), the steady state
+// of late-convergence rounds.  The sweep still re-evaluates all 4096
+// vertices per round; the frontier re-evaluates only the ~16 dirty ones.
+// The CI gate watches both: the ratio is the frontier's reason to exist
+// (≥3× is the acceptance floor; in practice it is orders of magnitude), and
+// the frontier case must stay at 0 allocs/op.
+func BenchmarkEngineStepNearConvergence(b *testing.B) {
+	topo := grid.MustNew(grid.KindToroidalMesh, 64, 64)
+	eng := sim.NewEngine(topo, rules.SimpleMajorityPB{Black: 2})
+	initial := color.NewColoring(topo.Dims(), 1)
+	initial.SetRC(20, 20, 2)
+	initial.SetRC(21, 21, 2)
+
+	b.Run("sweep-64x64", func(b *testing.B) {
+		cur, next := initial.Clone(), initial.Clone()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if eng.Step(cur, next) == 0 {
+				b.Fatal("oscillator died")
+			}
+			cur, next = next, cur
+		}
+	})
+	b.Run("frontier-64x64", func(b *testing.B) {
+		f := eng.NewFrontier(initial)
+		f.Step()
+		f.Step()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if f.Step() == 0 {
+				b.Fatal("oscillator died")
+			}
+		}
+	})
+}
+
+// BenchmarkEngineStepFrontierConvergence measures a whole dynamo run on the
+// frontier stepper against the full-sweep oracle (the Theorem 7 workload,
+// where the wave narrows round after round).
+func BenchmarkEngineStepFrontierConvergence(b *testing.B) {
+	cons, err := dynamo.MeshMinimum(64, 64, 1, color.MustPalette(5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := sim.NewEngine(cons.Topology, rules.SMP{})
+	for _, bench := range []struct {
+		name string
+		opt  sim.Options
+	}{
+		{"frontier-64x64", sim.Options{Target: 1, StopWhenMonochromatic: true}},
+		{"sweep-64x64", sim.Options{Target: 1, StopWhenMonochromatic: true, FullSweep: true}},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := eng.Run(cons.Coloring, bench.opt)
+				if !res.Monochromatic {
+					b.Fatal("construction failed to converge")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkSMPRule measures the rule evaluation itself.
 func BenchmarkSMPRule(b *testing.B) {
 	neighborhoods := [][]color.Color{

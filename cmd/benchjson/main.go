@@ -1,0 +1,357 @@
+// Command benchjson converts `go test -bench` output into a stable JSON
+// trajectory file and gates benchmark regressions against a checked-in
+// baseline.  It is the tooling behind the CI bench job:
+//
+//	go test -bench=. -benchmem -run='^$' -count=5 | benchjson -o BENCH_ci.json
+//	benchjson -baseline BENCH_baseline.json -current BENCH_ci.json \
+//	    -match '^BenchmarkEngineStep' -threshold 20
+//
+// Parsing mode reads benchmark output from stdin (or a file argument),
+// aggregates repeated runs of the same benchmark (-count=N) into min/mean/max
+// ns/op, and writes one JSON document.  Benchmark names are normalized by
+// stripping the trailing -GOMAXPROCS suffix so files from machines with
+// different core counts stay comparable.
+//
+// Compare mode exits non-zero when any baseline benchmark selected by -match
+// is missing from the current file or regressed by more than -threshold
+// percent on min ns/op (min over the repeated runs is the least noisy
+// statistic for a regression gate).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is the aggregated record of one benchmark across -count runs.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Runs        int     `json:"runs"`
+	NsPerOp     float64 `json:"ns_per_op"`      // min across runs
+	NsPerOpMean float64 `json:"ns_per_op_mean"` // mean across runs
+	NsPerOpMax  float64 `json:"ns_per_op_max"`  // max across runs
+	BytesPerOp  float64 `json:"bytes_per_op"`   // max across runs
+	AllocsPerOp float64 `json:"allocs_per_op"`  // max across runs
+	MBPerS      float64 `json:"mb_per_s,omitempty"`
+}
+
+// File is the JSON document benchjson reads and writes.
+type File struct {
+	Schema     string      `json:"schema"`
+	GOOS       string      `json:"goos,omitempty"`
+	GOARCH     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+const schema = "benchjson/v1"
+
+// procSuffix matches the -GOMAXPROCS suffix go test appends to benchmark
+// names ("BenchmarkFoo/case-8").
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+// benchLine matches one result line: name, iteration count, then
+// "value unit" metric pairs.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
+
+// sample is one parsed run of one benchmark.
+type sample struct {
+	nsPerOp, bytesPerOp, allocsPerOp, mbPerS float64
+	hasMB                                    bool
+}
+
+// Parse reads `go test -bench` output and aggregates it into a File.
+func Parse(r io.Reader) (*File, error) {
+	out := &File{Schema: schema}
+	samples := map[string][]sample{}
+	var order []string
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			out.GOOS = strings.TrimPrefix(line, "goos: ")
+			continue
+		case strings.HasPrefix(line, "goarch: "):
+			out.GOARCH = strings.TrimPrefix(line, "goarch: ")
+			continue
+		case strings.HasPrefix(line, "pkg: "):
+			out.Pkg = strings.TrimPrefix(line, "pkg: ")
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			out.CPU = strings.TrimPrefix(line, "cpu: ")
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name := procSuffix.ReplaceAllString(m[1], "")
+		var s sample
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			value, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: bad metric value %q in line %q", fields[i], line)
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				s.nsPerOp = value
+			case "B/op":
+				s.bytesPerOp = value
+			case "allocs/op":
+				s.allocsPerOp = value
+			case "MB/s":
+				s.mbPerS, s.hasMB = value, true
+			}
+		}
+		if s.nsPerOp == 0 {
+			continue // a custom-metric-only line; nothing to gate on
+		}
+		if _, seen := samples[name]; !seen {
+			order = append(order, name)
+		}
+		samples[name] = append(samples[name], s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	for _, name := range order {
+		runs := samples[name]
+		b := Benchmark{Name: name, Runs: len(runs)}
+		sum := 0.0
+		for i, s := range runs {
+			if i == 0 || s.nsPerOp < b.NsPerOp {
+				b.NsPerOp = s.nsPerOp
+			}
+			if s.nsPerOp > b.NsPerOpMax {
+				b.NsPerOpMax = s.nsPerOp
+			}
+			sum += s.nsPerOp
+			if s.bytesPerOp > b.BytesPerOp {
+				b.BytesPerOp = s.bytesPerOp
+			}
+			if s.allocsPerOp > b.AllocsPerOp {
+				b.AllocsPerOp = s.allocsPerOp
+			}
+			if s.hasMB && s.mbPerS > b.MBPerS {
+				b.MBPerS = s.mbPerS
+			}
+		}
+		b.NsPerOpMean = sum / float64(len(runs))
+		out.Benchmarks = append(out.Benchmarks, b)
+	}
+	if len(out.Benchmarks) == 0 {
+		return nil, fmt.Errorf("benchjson: no benchmark result lines found")
+	}
+	return out, nil
+}
+
+// Regression is one gate violation found by Compare.
+type Regression struct {
+	Name           string
+	BaselineNs     float64
+	CurrentNs      float64
+	RatioPct       float64 // (current/baseline - 1) * 100
+	MissingCurrent bool
+}
+
+// Compare gates current against baseline: every baseline benchmark whose
+// name matches the pattern must be present in current with min ns/op no more
+// than thresholdPct percent above the baseline's.  It returns the matched
+// names (for reporting) and the violations.
+func Compare(baseline, current *File, match *regexp.Regexp, thresholdPct float64) (matched []string, regressions []Regression) {
+	cur := map[string]Benchmark{}
+	for _, b := range current.Benchmarks {
+		cur[b.Name] = b
+	}
+	for _, base := range baseline.Benchmarks {
+		if !match.MatchString(base.Name) {
+			continue
+		}
+		matched = append(matched, base.Name)
+		now, ok := cur[base.Name]
+		if !ok {
+			regressions = append(regressions, Regression{Name: base.Name, BaselineNs: base.NsPerOp, MissingCurrent: true})
+			continue
+		}
+		pct := (now.NsPerOp/base.NsPerOp - 1) * 100
+		if pct > thresholdPct {
+			regressions = append(regressions, Regression{
+				Name: base.Name, BaselineNs: base.NsPerOp, CurrentNs: now.NsPerOp, RatioPct: pct,
+			})
+		}
+	}
+	sort.Strings(matched)
+	return matched, regressions
+}
+
+// CheckSpeedup verifies a within-file ratio: the benchmark named fast must
+// be at least minRatio times faster (lower min ns/op) than the one named
+// slow.  Because both numbers come from the same run on the same machine,
+// the check is hardware-independent — unlike the baseline gate — and is how
+// CI enforces the frontier stepper's raison d'être regardless of runner
+// class.  Names are matched after -GOMAXPROCS normalization.
+func CheckSpeedup(f *File, fast, slow string, minRatio float64) (ratio float64, err error) {
+	var fastNs, slowNs float64
+	for _, b := range f.Benchmarks {
+		switch b.Name {
+		case fast:
+			fastNs = b.NsPerOp
+		case slow:
+			slowNs = b.NsPerOp
+		}
+	}
+	if fastNs == 0 {
+		return 0, fmt.Errorf("benchjson: speedup check: benchmark %q not found", fast)
+	}
+	if slowNs == 0 {
+		return 0, fmt.Errorf("benchjson: speedup check: benchmark %q not found", slow)
+	}
+	ratio = slowNs / fastNs
+	if ratio < minRatio {
+		return ratio, fmt.Errorf("benchjson: %s is only %.2fx faster than %s (want >= %.2fx)", fast, ratio, slow, minRatio)
+	}
+	return ratio, nil
+}
+
+func readFile(path string) (*File, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, fmt.Errorf("benchjson: %s: %w", path, err)
+	}
+	if f.Schema != schema {
+		return nil, fmt.Errorf("benchjson: %s: unknown schema %q (want %q)", path, f.Schema, schema)
+	}
+	return &f, nil
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	out := fs.String("o", "", "write JSON to this file instead of stdout (parse mode)")
+	baselinePath := fs.String("baseline", "", "baseline JSON file (switches to compare mode)")
+	currentPath := fs.String("current", "", "current JSON file to gate against the baseline")
+	matchExpr := fs.String("match", "^Benchmark", "regexp selecting baseline benchmarks to gate (compare mode)")
+	threshold := fs.Float64("threshold", 20, "maximum tolerated ns/op regression in percent (compare mode)")
+	speedupFast := fs.String("speedup-fast", "", "benchmark that must be faster (speedup mode, with -speedup-slow on -current)")
+	speedupSlow := fs.String("speedup-slow", "", "benchmark that must be slower (speedup mode)")
+	speedupMin := fs.Float64("speedup-min", 3, "minimum required slow/fast ns/op ratio (speedup mode)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *speedupFast != "" || *speedupSlow != "" {
+		if *speedupFast == "" || *speedupSlow == "" || *currentPath == "" {
+			fmt.Fprintln(stderr, "benchjson: speedup mode needs -speedup-fast, -speedup-slow and -current")
+			return 2
+		}
+		current, err := readFile(*currentPath)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		ratio, err := CheckSpeedup(current, *speedupFast, *speedupSlow, *speedupMin)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "%s is %.1fx faster than %s (floor %.1fx)\n", *speedupFast, ratio, *speedupSlow, *speedupMin)
+		return 0
+	}
+
+	if *baselinePath != "" {
+		if *currentPath == "" {
+			fmt.Fprintln(stderr, "benchjson: -baseline requires -current")
+			return 2
+		}
+		match, err := regexp.Compile(*matchExpr)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchjson: bad -match: %v\n", err)
+			return 2
+		}
+		baseline, err := readFile(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		current, err := readFile(*currentPath)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		matched, regressions := Compare(baseline, current, match, *threshold)
+		if len(matched) == 0 {
+			fmt.Fprintf(stderr, "benchjson: no baseline benchmarks match %q\n", *matchExpr)
+			return 2
+		}
+		fmt.Fprintf(stdout, "gating %d benchmarks against %s (threshold %+.0f%% ns/op)\n", len(matched), *baselinePath, *threshold)
+		for _, r := range regressions {
+			if r.MissingCurrent {
+				fmt.Fprintf(stdout, "FAIL %s: present in baseline (%.1f ns/op) but missing from current run\n", r.Name, r.BaselineNs)
+			} else {
+				fmt.Fprintf(stdout, "FAIL %s: %.1f -> %.1f ns/op (%+.1f%%)\n", r.Name, r.BaselineNs, r.CurrentNs, r.RatioPct)
+			}
+		}
+		if len(regressions) > 0 {
+			fmt.Fprintf(stdout, "%d of %d gated benchmarks regressed beyond %.0f%%\n", len(regressions), len(matched), *threshold)
+			return 1
+		}
+		fmt.Fprintln(stdout, "all gated benchmarks within threshold")
+		return 0
+	}
+
+	in := stdin
+	if fs.NArg() > 0 {
+		fh, err := os.Open(fs.Arg(0))
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		defer fh.Close()
+		in = fh
+	}
+	parsed, err := Parse(in)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	blob, err := json.MarshalIndent(parsed, "", "  ")
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	blob = append(blob, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, blob, 0o644); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		return 0
+	}
+	if _, err := stdout.Write(blob); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}

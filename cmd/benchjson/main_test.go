@@ -1,0 +1,169 @@
+package main
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: AMD EPYC 7B13
+BenchmarkEngineStepSequential/32x32-8         	   35118	     34067 ns/op	  30.06 MB/s	       0 B/op	       0 allocs/op
+BenchmarkEngineStepSequential/32x32-8         	   36000	     33000 ns/op	  31.00 MB/s	       0 B/op	       0 allocs/op
+BenchmarkEngineStepSequential/32x32-8         	   35500	     35001 ns/op	  29.50 MB/s	       8 B/op	       1 allocs/op
+BenchmarkEngineStepNearConvergence/frontier-64x64-8	 5000000	       250.5 ns/op	       0 B/op	       0 allocs/op
+BenchmarkE01MeshBounds-8                      	     100	  11111111 ns/op	         5.000 rows
+PASS
+ok  	repro	12.3s
+`
+
+func TestParseAggregatesRuns(t *testing.T) {
+	f, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.GOOS != "linux" || f.GOARCH != "amd64" || f.Pkg != "repro" || f.CPU != "AMD EPYC 7B13" {
+		t.Errorf("header fields wrong: %+v", f)
+	}
+	if len(f.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(f.Benchmarks))
+	}
+	seq := f.Benchmarks[0]
+	if seq.Name != "BenchmarkEngineStepSequential/32x32" {
+		t.Errorf("GOMAXPROCS suffix not stripped: %q", seq.Name)
+	}
+	if seq.Runs != 3 {
+		t.Errorf("runs = %d, want 3", seq.Runs)
+	}
+	if seq.NsPerOp != 33000 || seq.NsPerOpMax != 35001 {
+		t.Errorf("ns/op min/max = %v/%v, want 33000/35001", seq.NsPerOp, seq.NsPerOpMax)
+	}
+	if want := (34067.0 + 33000 + 35001) / 3; seq.NsPerOpMean != want {
+		t.Errorf("ns/op mean = %v, want %v", seq.NsPerOpMean, want)
+	}
+	if seq.AllocsPerOp != 1 || seq.BytesPerOp != 8 {
+		t.Errorf("allocs/bytes max = %v/%v, want 1/8", seq.AllocsPerOp, seq.BytesPerOp)
+	}
+	if seq.MBPerS != 31 {
+		t.Errorf("MB/s = %v, want 31", seq.MBPerS)
+	}
+	front := f.Benchmarks[1]
+	if front.NsPerOp != 250.5 || front.AllocsPerOp != 0 {
+		t.Errorf("frontier record wrong: %+v", front)
+	}
+}
+
+func TestParseRejectsEmptyInput(t *testing.T) {
+	if _, err := Parse(strings.NewReader("PASS\nok repro 0.1s\n")); err == nil {
+		t.Fatal("expected an error on input without benchmark lines")
+	}
+}
+
+func mkFile(entries map[string]float64) *File {
+	f := &File{Schema: schema}
+	for name, ns := range entries {
+		f.Benchmarks = append(f.Benchmarks, Benchmark{Name: name, Runs: 1, NsPerOp: ns, NsPerOpMean: ns, NsPerOpMax: ns})
+	}
+	return f
+}
+
+func TestCompareGatesRegressions(t *testing.T) {
+	match := regexp.MustCompile("^BenchmarkEngineStep")
+	baseline := mkFile(map[string]float64{
+		"BenchmarkEngineStepSequential/64x64": 1000,
+		"BenchmarkEngineStepNearConvergence":  100,
+		"BenchmarkUnrelated":                  50,
+	})
+
+	// Within threshold: +19% passes, unrelated names are not gated.
+	current := mkFile(map[string]float64{
+		"BenchmarkEngineStepSequential/64x64": 1190,
+		"BenchmarkEngineStepNearConvergence":  90,
+		"BenchmarkUnrelated":                  5000,
+	})
+	matched, regs := Compare(baseline, current, match, 20)
+	if len(matched) != 2 {
+		t.Fatalf("matched %v, want the 2 engine-step benchmarks", matched)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %+v", regs)
+	}
+
+	// Beyond threshold and missing-benchmark both fail.
+	current = mkFile(map[string]float64{
+		"BenchmarkEngineStepSequential/64x64": 1210,
+	})
+	_, regs = Compare(baseline, current, match, 20)
+	if len(regs) != 2 {
+		t.Fatalf("got %d regressions, want 2 (one slow, one missing): %+v", len(regs), regs)
+	}
+	var slow, missing bool
+	for _, r := range regs {
+		if r.MissingCurrent {
+			missing = true
+		} else if r.Name == "BenchmarkEngineStepSequential/64x64" && r.RatioPct > 20 {
+			slow = true
+		}
+	}
+	if !slow || !missing {
+		t.Fatalf("regression kinds wrong: %+v", regs)
+	}
+}
+
+func TestCheckSpeedup(t *testing.T) {
+	f := mkFile(map[string]float64{
+		"BenchmarkEngineStepNearConvergence/frontier-64x64": 250,
+		"BenchmarkEngineStepNearConvergence/sweep-64x64":    72000,
+	})
+	ratio, err := CheckSpeedup(f, "BenchmarkEngineStepNearConvergence/frontier-64x64",
+		"BenchmarkEngineStepNearConvergence/sweep-64x64", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio != 288 {
+		t.Errorf("ratio = %v, want 288", ratio)
+	}
+	if _, err := CheckSpeedup(f, "BenchmarkEngineStepNearConvergence/frontier-64x64",
+		"BenchmarkEngineStepNearConvergence/sweep-64x64", 1000); err == nil {
+		t.Error("expected failure when the floor is above the measured ratio")
+	}
+	if _, err := CheckSpeedup(f, "BenchmarkNoSuch", "BenchmarkEngineStepNearConvergence/sweep-64x64", 3); err == nil {
+		t.Error("expected failure on a missing benchmark name")
+	}
+}
+
+// TestRunEndToEnd drives the CLI through parse and compare modes in a
+// temporary directory.
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	var out, errOut strings.Builder
+	if code := run([]string{"-o", dir + "/base.json"}, strings.NewReader(sampleOutput), &out, &errOut); code != 0 {
+		t.Fatalf("parse mode exited %d: %s", code, errOut.String())
+	}
+	// Identical files: the gate passes.
+	if code := run([]string{"-baseline", dir + "/base.json", "-current", dir + "/base.json",
+		"-match", "^BenchmarkEngineStep", "-threshold", "20"}, strings.NewReader(""), &out, &errOut); code != 0 {
+		t.Fatalf("self-compare exited %d: %s%s", code, out.String(), errOut.String())
+	}
+	// A match with no baseline hits is a configuration error, not a pass.
+	if code := run([]string{"-baseline", dir + "/base.json", "-current", dir + "/base.json",
+		"-match", "^BenchmarkNoSuch"}, strings.NewReader(""), &out, &errOut); code != 2 {
+		t.Fatalf("empty match exited %d, want 2", code)
+	}
+	// Speedup mode over the parsed sample: sequential 33000 vs frontier
+	// 250.5 ns/op is a ~131x ratio.
+	if code := run([]string{"-current", dir + "/base.json",
+		"-speedup-fast", "BenchmarkEngineStepNearConvergence/frontier-64x64",
+		"-speedup-slow", "BenchmarkEngineStepSequential/32x32",
+		"-speedup-min", "3"}, strings.NewReader(""), &out, &errOut); code != 0 {
+		t.Fatalf("speedup mode exited %d: %s%s", code, out.String(), errOut.String())
+	}
+	if code := run([]string{"-current", dir + "/base.json",
+		"-speedup-fast", "BenchmarkEngineStepNearConvergence/frontier-64x64",
+		"-speedup-slow", "BenchmarkEngineStepSequential/32x32",
+		"-speedup-min", "100000"}, strings.NewReader(""), &out, &errOut); code != 1 {
+		t.Fatalf("unreachable speedup floor exited %d, want 1", code)
+	}
+}

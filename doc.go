@@ -18,8 +18,8 @@
 //     time-varying graphs, bounded-confidence opinions) — internal/graphs,
 //     internal/tvg, internal/opinion;
 //   - the public, context-aware façade with pluggable rule/topology
-//     registries, observers and batched sessions — dynmon (the former
-//     internal/core is a deprecated shim over it).
+//     registries, observers and batched sessions — dynmon (which replaced
+//     the deleted internal/core façade; CI keeps it deleted).
 //
 // See README.md for a quickstart, DESIGN.md for the system inventory and
 // EXPERIMENTS.md for the paper-vs-measured record of every experiment.

@@ -1,0 +1,75 @@
+package dynmon_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/dynmon"
+)
+
+// TestSessionBufferReuseParity runs the same batch through a buffer-reusing
+// session, a fresh-buffers session and one-at-a-time full-sweep runs, and
+// requires bit-identical results from all three.
+func TestSessionBufferReuseParity(t *testing.T) {
+	sys, err := dynmon.New(dynmon.Mesh(12, 12), dynmon.Colors(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	initials := make([]*dynmon.Coloring, 8)
+	for i := range initials {
+		initials[i] = sys.RandomColoring(uint64(100 + i))
+	}
+
+	ctx := context.Background()
+	reuse := sys.NewSession(3)
+	if !reuse.ReusesBuffers() {
+		t.Fatal("sessions must reuse engine buffers by default")
+	}
+	fresh := sys.NewSession(3, dynmon.ReuseEngineBuffers(false))
+	if fresh.ReusesBuffers() {
+		t.Fatal("ReuseEngineBuffers(false) did not stick")
+	}
+
+	opts := []dynmon.RunOption{dynmon.MaxRounds(60), dynmon.DetectCycles()}
+	got, err := reuse.RunBatch(ctx, initials, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotFresh, err := fresh.RunBatch(ctx, initials, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range initials {
+		oracle, err := sys.Run(ctx, initials[i], append(opts, dynmon.FullSweep())...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for label, res := range map[string]*dynmon.Result{"reuse": got[i], "fresh": gotFresh[i]} {
+			if res.Rounds != oracle.Rounds || !res.Final.Equal(oracle.Final) || res.Cycle != oracle.Cycle {
+				t.Fatalf("batch item %d (%s session) diverged from the full-sweep oracle", i, label)
+			}
+		}
+	}
+}
+
+// TestFullSweepOptionParity pins the public oracle knob: frontier (default)
+// and full-sweep runs of the same system agree.
+func TestFullSweepOptionParity(t *testing.T) {
+	sys, err := dynmon.New(dynmon.Serpentinus(8, 10), dynmon.Colors(4), dynmon.WithRule("simple-majority-pb"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial := sys.RandomColoring(7)
+	ctx := context.Background()
+	front, err := sys.Run(ctx, initial, dynmon.MaxRounds(50), dynmon.Target(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep, err := sys.Run(ctx, initial, dynmon.MaxRounds(50), dynmon.Target(2), dynmon.FullSweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if front.Rounds != sweep.Rounds || !front.Final.Equal(sweep.Final) || front.MonotoneTarget != sweep.MonotoneTarget {
+		t.Fatal("FullSweep and frontier runs diverged")
+	}
+}

@@ -139,6 +139,20 @@ func Parallel(workers int) RunOption {
 	return func(o *sim.Options) { o.Parallel, o.Workers = true, workers }
 }
 
+// FullSweep forces the sequential full-sweep oracle stepper instead of the
+// default dirty-frontier stepper.  Results are bit-identical either way; the
+// option exists for differential checks and for measuring the frontier's
+// speedup.
+func FullSweep() RunOption {
+	return func(o *sim.Options) { o.FullSweep = true }
+}
+
+// FreshBuffers makes the run allocate its own working buffers instead of
+// borrowing from the engine's per-run buffer pool.
+func FreshBuffers() RunOption {
+	return func(o *sim.Options) { o.FreshBuffers = true }
+}
+
 // WithObserver notifies o after every round (OnRound) and when the run
 // stops on its own (OnFinish).  May be given multiple times; observers run
 // in order from the run's driving goroutine.

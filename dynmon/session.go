@@ -19,15 +19,35 @@ import (
 type Session struct {
 	sys     *System
 	workers int
+	// fresh disables the engine's per-run buffer reuse for this session's
+	// batches; see ReuseEngineBuffers.
+	fresh bool
+}
+
+// SessionOption configures NewSession.
+type SessionOption func(*Session)
+
+// ReuseEngineBuffers controls whether the session's batch runs borrow the
+// engine's pooled per-run working buffers (double buffers, frontier queues).
+// Reuse is the default and is what makes steady-state stepping across batch
+// runs allocation-free; disabling it makes every run allocate a private
+// working set, which callers may prefer when a session's batches are rare
+// and the pooled buffers would only pin memory between them.
+func ReuseEngineBuffers(enabled bool) SessionOption {
+	return func(se *Session) { se.fresh = !enabled }
 }
 
 // NewSession returns a session running at most workers simulations of a
 // batch concurrently (workers <= 0 selects runtime.GOMAXPROCS(0)).
-func (s *System) NewSession(workers int) *Session {
+func (s *System) NewSession(workers int, opts ...SessionOption) *Session {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Session{sys: s, workers: workers}
+	se := &Session{sys: s, workers: workers}
+	for _, opt := range opts {
+		opt(se)
+	}
+	return se
 }
 
 // System returns the session's system.
@@ -35,6 +55,10 @@ func (se *Session) System() *System { return se.sys }
 
 // Workers returns the pool bound.
 func (se *Session) Workers() int { return se.workers }
+
+// ReusesBuffers reports whether batch runs borrow the engine's pooled
+// working buffers (the default).
+func (se *Session) ReusesBuffers() bool { return !se.fresh }
 
 // RunBatch evolves every initial coloring under the system's rule and
 // returns one Result per input, in input order.  The run options apply to
@@ -45,6 +69,9 @@ func (se *Session) RunBatch(ctx context.Context, initials []*Coloring, opts ...R
 	// Per-run parallel stepping would oversubscribe the pool; the batch is
 	// the unit of parallelism.
 	opt.Parallel = false
+	// The session default composes with a per-run FreshBuffers() option:
+	// either opting out disables reuse.
+	opt.FreshBuffers = opt.FreshBuffers || se.fresh
 	results := make([]*Result, len(initials))
 	err := se.forEach(ctx, len(initials), func(ctx context.Context, i int) error {
 		res, err := se.sys.engine.RunContext(ctx, initials[i], opt)
@@ -63,6 +90,7 @@ func (se *Session) RunBatch(ctx context.Context, initials []*Coloring, opts ...R
 // simulation did not complete are nil.
 func (se *Session) VerifyBatch(ctx context.Context, initials []*Coloring, target Color) ([]*Report, error) {
 	opt := verifyOptions(target)
+	opt.FreshBuffers = opt.FreshBuffers || se.fresh
 	reports := make([]*Report, len(initials))
 	err := se.forEach(ctx, len(initials), func(ctx context.Context, i int) error {
 		res, err := se.sys.engine.RunContext(ctx, initials[i], opt)

@@ -4,13 +4,13 @@
 package repro_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
 	"repro/dynmon"
 	"repro/internal/analysis"
 	"repro/internal/color"
-	"repro/internal/core"
 	"repro/internal/dynamo"
 	"repro/internal/graphs"
 	"repro/internal/grid"
@@ -167,36 +167,38 @@ func TestDeterministicReproduction(t *testing.T) {
 	}
 }
 
-// TestCoreShimParity keeps the deprecated internal/core shim honest until
-// it is deleted: it must produce the same judgements as dynmon.
-func TestCoreShimParity(t *testing.T) {
-	oldSys, err := core.NewSystem("mesh", 9, 9, 5)
+// TestSteppersAgreeEndToEnd pins the engine rebuild at the façade level:
+// batched frontier runs, one-at-a-time frontier runs and full-sweep oracle
+// runs must reach identical verdicts on the paper's constructions.
+func TestSteppersAgreeEndToEnd(t *testing.T) {
+	sys, err := dynmon.New(dynmon.Mesh(9, 9), dynmon.Colors(5))
 	if err != nil {
 		t.Fatal(err)
 	}
-	newSys, err := dynmon.New(dynmon.Mesh(9, 9), dynmon.Colors(5))
+	cons, err := sys.MinimumDynamo(1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	oldCons, err := oldSys.MinimumDynamo(1)
+	ctx := context.Background()
+	front, err := sys.Run(ctx, cons.Coloring, dynmon.Target(1), dynmon.StopWhenMonochromatic())
 	if err != nil {
 		t.Fatal(err)
 	}
-	newCons, err := newSys.MinimumDynamo(1)
+	sweep, err := sys.Run(ctx, cons.Coloring, dynmon.Target(1), dynmon.StopWhenMonochromatic(), dynmon.FullSweep())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !oldCons.Coloring.Equal(newCons.Coloring) {
-		t.Fatal("shim and dynmon build different constructions")
+	if front.Rounds != sweep.Rounds || !front.Final.Equal(sweep.Final) || front.MonotoneTarget != sweep.MonotoneTarget {
+		t.Fatal("frontier and full-sweep verdicts diverged on the Theorem 2 construction")
 	}
-	oldRep, newRep := oldSys.Verify(oldCons), newSys.Verify(newCons)
-	if oldRep.Summary() != newRep.Summary() {
-		t.Errorf("shim summary drifted:\n  core:   %s\n  dynmon: %s", oldRep.Summary(), newRep.Summary())
+	batch, err := sys.NewSession(4).RunBatch(ctx, []*dynmon.Coloring{cons.Coloring, cons.Coloring},
+		dynmon.Target(1), dynmon.StopWhenMonochromatic())
+	if err != nil {
+		t.Fatal(err)
 	}
-	if oldSys.LowerBound() != newSys.LowerBound() || oldSys.PredictedRounds() != newSys.PredictedRounds() {
-		t.Error("shim bounds drifted")
-	}
-	if !oldSys.RandomColoring(7).Equal(newSys.RandomColoring(7)) {
-		t.Error("shim random colorings drifted")
+	for i, res := range batch {
+		if res.Rounds != sweep.Rounds || !res.Final.Equal(sweep.Final) {
+			t.Fatalf("batch item %d diverged from the oracle", i)
+		}
 	}
 }

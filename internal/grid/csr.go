@@ -1,0 +1,99 @@
+package grid
+
+import (
+	"reflect"
+	"sync"
+)
+
+// CSR is a compressed sparse row adjacency index of a Topology, the flat
+// form the simulation engine iterates over.  It is built once per topology
+// (see CSROf) and shared by every engine over that topology.
+//
+// The forward table is fully dense because all three tori are Degree-regular:
+// the Degree neighbor ids of vertex v occupy Neighbors[Degree*v : Degree*v+Degree],
+// in the same up, down, left, right order Topology.Neighbors produces.  The
+// reverse index answers the frontier stepper's question — "when v changes
+// color, who has to be re-evaluated next round?" — as the vertices u with
+// v ∈ N(u): they occupy Rev[RevOff[v]:RevOff[v+1]].  On the (undirected)
+// tori the reverse lists coincide with the forward ones as sets, but the
+// index is built generically so externally registered, possibly asymmetric
+// topologies stay correct.  Reverse lists may contain duplicates when a
+// dimension equals 2 (the four neighbor ports collapse); consumers must be
+// idempotent under duplicate delivery, which the frontier's epoch marks are.
+//
+// A CSR is immutable after construction and safe for concurrent use.
+type CSR struct {
+	dims Dims
+	// Neighbors is the dense forward table, Degree entries per vertex.
+	Neighbors []int32
+	// RevOff and Rev form the reverse (influence) index: the vertices whose
+	// neighborhoods contain v are Rev[RevOff[v]:RevOff[v+1]].
+	RevOff []int32
+	Rev    []int32
+}
+
+// Dims returns the lattice dimensions the index was built for.
+func (c *CSR) Dims() Dims { return c.dims }
+
+// BuildCSR computes the CSR index of a topology from scratch.  Prefer CSROf,
+// which caches the result per topology value.
+func BuildCSR(t Topology) *CSR {
+	d := t.Dims()
+	n := d.N()
+	c := &CSR{
+		dims:      d,
+		Neighbors: make([]int32, 0, n*Degree),
+		RevOff:    make([]int32, n+1),
+		Rev:       make([]int32, n*Degree),
+	}
+	var buf [Degree]int
+	for v := 0; v < n; v++ {
+		for _, u := range t.Neighbors(v, buf[:0]) {
+			c.Neighbors = append(c.Neighbors, int32(u))
+		}
+	}
+	// Counting sort of the transposed edge list: first in-degrees...
+	for _, u := range c.Neighbors {
+		c.RevOff[u+1]++
+	}
+	for v := 0; v < n; v++ {
+		c.RevOff[v+1] += c.RevOff[v]
+	}
+	// ...then placement, using a moving cursor per target vertex.
+	cursor := make([]int32, n)
+	copy(cursor, c.RevOff[:n])
+	for v := 0; v < n; v++ {
+		base := v * Degree
+		for p := 0; p < Degree; p++ {
+			u := c.Neighbors[base+p]
+			c.Rev[cursor[u]] = int32(v)
+			cursor[u]++
+		}
+	}
+	return c
+}
+
+// csrCache memoizes CSR indexes per Topology value.  The built-in tori are
+// tiny comparable structs, so topologies of equal kind and size share one
+// index no matter how many engines are built over them.
+var csrCache sync.Map // Topology -> *CSR
+
+// CSROf returns the (possibly cached) CSR index of a topology.  Topologies
+// whose dynamic type is not comparable cannot be used as cache keys and get
+// a fresh index per call.
+//
+// Cached indexes are retained for the life of the process (~32 bytes per
+// vertex per distinct topology value); long-running processes sweeping many
+// distinct sizes that must bound memory can call BuildCSR through their own
+// cache instead.
+func CSROf(t Topology) *CSR {
+	if !reflect.TypeOf(t).Comparable() {
+		return BuildCSR(t)
+	}
+	if cached, ok := csrCache.Load(t); ok {
+		return cached.(*CSR)
+	}
+	c := BuildCSR(t)
+	cached, _ := csrCache.LoadOrStore(t, c)
+	return cached.(*CSR)
+}

@@ -1,0 +1,82 @@
+package grid
+
+import (
+	"testing"
+)
+
+// TestCSRMatchesTopologyNeighbors pins the forward table to the Topology
+// interface on every kind, including the degenerate 2×n and m×2 tori where
+// neighbor ports collapse onto duplicate vertices.
+func TestCSRMatchesTopologyNeighbors(t *testing.T) {
+	sizes := [][2]int{{2, 2}, {2, 5}, {5, 2}, {3, 3}, {4, 7}, {6, 6}}
+	for _, kind := range Kinds() {
+		for _, sz := range sizes {
+			topo := MustNew(kind, sz[0], sz[1])
+			csr := BuildCSR(topo)
+			n := topo.Dims().N()
+			if got := len(csr.Neighbors); got != n*Degree {
+				t.Fatalf("%v %dx%d: forward table has %d entries, want %d", kind, sz[0], sz[1], got, n*Degree)
+			}
+			var buf [Degree]int
+			for v := 0; v < n; v++ {
+				want := topo.Neighbors(v, buf[:0])
+				for p := 0; p < Degree; p++ {
+					if int(csr.Neighbors[v*Degree+p]) != want[p] {
+						t.Fatalf("%v %dx%d: vertex %d port %d = %d, want %d",
+							kind, sz[0], sz[1], v, p, csr.Neighbors[v*Degree+p], want[p])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCSRReverseIndex checks that the reverse index holds exactly the
+// transposed forward edges (with multiplicity) on every kind.
+func TestCSRReverseIndex(t *testing.T) {
+	for _, kind := range Kinds() {
+		for _, sz := range [][2]int{{2, 3}, {3, 4}, {5, 5}} {
+			topo := MustNew(kind, sz[0], sz[1])
+			csr := BuildCSR(topo)
+			n := topo.Dims().N()
+			if len(csr.Rev) != n*Degree || len(csr.RevOff) != n+1 {
+				t.Fatalf("%v %dx%d: reverse index sized %d/%d", kind, sz[0], sz[1], len(csr.Rev), len(csr.RevOff))
+			}
+			// Count forward edges v->u and check they all appear reversed.
+			fwd := map[[2]int]int{}
+			for v := 0; v < n; v++ {
+				for p := 0; p < Degree; p++ {
+					fwd[[2]int{v, int(csr.Neighbors[v*Degree+p])}]++
+				}
+			}
+			rev := map[[2]int]int{}
+			for u := 0; u < n; u++ {
+				for _, v := range csr.Rev[csr.RevOff[u]:csr.RevOff[u+1]] {
+					rev[[2]int{int(v), u}]++
+				}
+			}
+			if len(fwd) != len(rev) {
+				t.Fatalf("%v %dx%d: %d forward vs %d reverse edge keys", kind, sz[0], sz[1], len(fwd), len(rev))
+			}
+			for e, c := range fwd {
+				if rev[e] != c {
+					t.Fatalf("%v %dx%d: edge %v has multiplicity %d forward, %d reverse", kind, sz[0], sz[1], e, c, rev[e])
+				}
+			}
+		}
+	}
+}
+
+// TestCSROfCaches pins the per-topology memoization: two topology values of
+// equal kind and size share one index.
+func TestCSROfCaches(t *testing.T) {
+	a := CSROf(MustNew(KindTorusCordalis, 6, 4))
+	b := CSROf(MustNew(KindTorusCordalis, 6, 4))
+	if a != b {
+		t.Error("CSROf returned distinct indexes for equal topology values")
+	}
+	c := CSROf(MustNew(KindTorusCordalis, 4, 6))
+	if a == c {
+		t.Error("CSROf shared an index across different dimensions")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"repro/internal/color"
 	"repro/internal/grid"
 	"repro/internal/rng"
+	"repro/internal/rules"
 )
 
 // AsyncOrder selects the vertex activation order of the asynchronous
@@ -72,22 +73,39 @@ func (e *Engine) RunAsync(initial *color.Coloring, opt AsyncOptions) *AsyncResul
 		order[i] = i
 	}
 
+	fwd := e.csr.Neighbors
 	var scratch [grid.Degree]color.Color
 	for sweep := 1; sweep <= maxSweeps; sweep++ {
 		if opt.Order == AsyncRandom {
 			opt.Source.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 		}
 		changed := 0
-		for _, v := range order {
-			base := v * grid.Degree
-			scratch[0] = cells[e.neighbors[base]]
-			scratch[1] = cells[e.neighbors[base+1]]
-			scratch[2] = cells[e.neighbors[base+2]]
-			scratch[3] = cells[e.neighbors[base+3]]
-			nc := e.rule.Next(cells[v], scratch[:])
-			if nc != cells[v] {
-				cells[v] = nc
-				changed++
+		if cr := e.countRule; cr != nil {
+			for _, v := range order {
+				base := v * grid.Degree
+				var cs rules.Counts
+				cs.Add(cells[fwd[base]])
+				cs.Add(cells[fwd[base+1]])
+				cs.Add(cells[fwd[base+2]])
+				cs.Add(cells[fwd[base+3]])
+				nc := cr.NextFromCounts(cells[v], cs)
+				if nc != cells[v] {
+					cells[v] = nc
+					changed++
+				}
+			}
+		} else {
+			for _, v := range order {
+				base := v * grid.Degree
+				scratch[0] = cells[fwd[base]]
+				scratch[1] = cells[fwd[base+1]]
+				scratch[2] = cells[fwd[base+2]]
+				scratch[3] = cells[fwd[base+3]]
+				nc := e.rule.Next(cells[v], scratch[:])
+				if nc != cells[v] {
+					cells[v] = nc
+					changed++
+				}
 			}
 		}
 		res.Sweeps = sweep

@@ -4,17 +4,26 @@
 // The engine follows the paper's execution model (Section III.D): the system
 // is synchronous, every vertex reads its neighbors' colors at time t and all
 // vertices apply the rule simultaneously to produce the configuration at
-// time t+1.  The engine supports sequential and parallel (striped,
-// double-buffered) stepping that produce bit-identical results, fixed-point
-// and period-2-cycle detection, monotonicity tracking with respect to a
-// target color, and per-vertex recoloring-time traces (the data behind the
-// paper's Figures 5 and 6).
+// time t+1.  Three steppers produce bit-identical results:
+//
+//   - the sequential full sweep, the oracle every other path is tested
+//     against;
+//   - the striped parallel sweep (double-buffered, one contiguous stripe per
+//     worker);
+//   - the dirty-frontier stepper (see Frontier), which re-evaluates only the
+//     vertices whose neighborhood changed in the previous round and is the
+//     default for sequential runs.
+//
+// The engine supports fixed-point and period-2-cycle detection,
+// monotonicity tracking with respect to a target color, and per-vertex
+// recoloring-time traces (the data behind the paper's Figures 5 and 6).
 package sim
 
 import (
 	"context"
 	"fmt"
 	"runtime"
+	"sync"
 
 	"repro/internal/color"
 	"repro/internal/grid"
@@ -31,6 +40,17 @@ type Options struct {
 	// Workers is the number of goroutines used when Parallel is set; zero
 	// selects runtime.GOMAXPROCS(0).
 	Workers int
+	// FullSweep forces the sequential full-sweep oracle stepper instead of
+	// the dirty-frontier stepper.  Results are bit-identical either way; the
+	// knob exists for differential tests and for measuring the frontier's
+	// speedup.  It is ignored on the parallel path, which always sweeps.
+	FullSweep bool
+	// FreshBuffers makes the run allocate its own working buffers instead of
+	// borrowing from the engine's per-run buffer pool.  The pool is the
+	// reason steady-state stepping allocates nothing across Session batch
+	// runs; opting out exists for callers that hold many runs open at once
+	// and would rather not grow the pool.
+	FreshBuffers bool
 	// Target, when non-zero, is the color whose spread is tracked: the
 	// engine records per-vertex first-reach times and whether the
 	// target-colored set evolved monotonically.
@@ -76,11 +96,17 @@ func (o Options) EffectiveWorkers(n int) int {
 	return workers
 }
 
-// DefaultMaxRounds returns a generous round budget for the given dimensions.
-// The paper's convergence bounds are O(m·n); the default leaves ample slack
-// so non-convergence always means "not a dynamo" rather than "budget too
-// small".
-func DefaultMaxRounds(d grid.Dims) int { return 3*d.N() + 16 }
+// DefaultMaxRounds returns a generous round budget for an m×n torus, aligned
+// with the paper's convergence bounds: Theorem 7 converges the toroidal mesh
+// in O(max(m,n)) rounds and Theorem 8 the spiral tori in at most ~m·n/2
+// rounds (the wave crosses the single spiral), so
+//
+//	m·n + 2·(m+n) + 16
+//
+// dominates every predicted convergence time with at least 2× slack.
+// Non-convergence within the budget therefore means "not a dynamo", never
+// "budget too small".
+func DefaultMaxRounds(d grid.Dims) int { return d.N() + 2*(d.Rows+d.Cols) + 16 }
 
 // Result describes a finished simulation run.
 type Result struct {
@@ -148,29 +174,34 @@ func (r *Result) TimesMatrix(d grid.Dims) [][]int {
 	return out
 }
 
-// Engine evolves colorings over a fixed topology under a fixed rule.  An
-// Engine is immutable after construction and safe for concurrent use by
-// multiple goroutines running independent simulations.
+// Engine evolves colorings over a fixed topology under a fixed rule.  Its
+// configuration is immutable after construction and an Engine is safe for
+// concurrent use by multiple goroutines running independent simulations; the
+// only mutable state is an internal sync.Pool of per-run working buffers,
+// which is what makes repeated runs (and Session batches in the public
+// dynmon package) allocation-free in steady state.
 type Engine struct {
 	topo grid.Topology
 	rule rules.Rule
-	// neighbors is the flattened adjacency table: the four neighbor indices
-	// of vertex v occupy neighbors[4v:4v+4].  Precomputing it keeps the
-	// inner loop free of modulo arithmetic and interface dispatch.
-	neighbors []int32
+	// countRule is the rule's counts-based fast path, nil when the rule does
+	// not implement rules.CountRule.  Detected once here so the inner loops
+	// pay no per-vertex type assertions.
+	countRule rules.CountRule
+	// csr is the topology's shared CSR adjacency index: the four neighbor
+	// ids of vertex v occupy csr.Neighbors[4v:4v+4], and csr.Rev lists who
+	// must be re-evaluated when v changes.  Built once per topology and
+	// shared across engines (grid.CSROf).
+	csr *grid.CSR
+	// pool recycles per-run state (double buffers, frontier queues) across
+	// runs.
+	pool sync.Pool
 }
 
 // NewEngine builds an engine for the given topology and rule.
 func NewEngine(topo grid.Topology, rule rules.Rule) *Engine {
-	n := topo.Dims().N()
-	neighbors := make([]int32, 0, n*grid.Degree)
-	var buf [grid.Degree]int
-	for v := 0; v < n; v++ {
-		for _, u := range topo.Neighbors(v, buf[:0]) {
-			neighbors = append(neighbors, int32(u))
-		}
-	}
-	return &Engine{topo: topo, rule: rule, neighbors: neighbors}
+	e := &Engine{topo: topo, rule: rule, csr: grid.CSROf(topo)}
+	e.countRule, _ = rule.(rules.CountRule)
+	return e
 }
 
 // Topology returns the engine's topology.
@@ -179,17 +210,62 @@ func (e *Engine) Topology() grid.Topology { return e.topo }
 // Rule returns the engine's rule.
 func (e *Engine) Rule() rules.Rule { return e.rule }
 
+// runState is the recycled working set of one run: the frontier stepper
+// (whose configuration doubles as the sweep path's "cur" buffer), the sweep
+// path's second buffer and, lazily, the period-2 comparison buffer.
+type runState struct {
+	f        *Frontier
+	next     *color.Coloring
+	prevPrev *color.Coloring
+}
+
+func (e *Engine) getState(fresh bool) *runState {
+	if !fresh {
+		if v := e.pool.Get(); v != nil {
+			return v.(*runState)
+		}
+	}
+	d := e.topo.Dims()
+	return &runState{
+		f:    newFrontier(e),
+		next: color.NewColoring(d, color.None),
+	}
+}
+
+func (e *Engine) putState(st *runState, fresh bool) {
+	if !fresh {
+		e.pool.Put(st)
+	}
+}
+
 // stepRange applies one synchronous round to vertices [lo, hi) reading from
 // cur and writing to next, and returns how many of them changed.
 func (e *Engine) stepRange(cur, next []color.Color, lo, hi int) int {
 	changed := 0
+	fwd := e.csr.Neighbors
+	if cr := e.countRule; cr != nil {
+		for v := lo; v < hi; v++ {
+			base := v * grid.Degree
+			var cs rules.Counts
+			cs.Add(cur[fwd[base]])
+			cs.Add(cur[fwd[base+1]])
+			cs.Add(cur[fwd[base+2]])
+			cs.Add(cur[fwd[base+3]])
+			nc := cr.NextFromCounts(cur[v], cs)
+			next[v] = nc
+			if nc != cur[v] {
+				changed++
+			}
+		}
+		return changed
+	}
 	var scratch [grid.Degree]color.Color
 	for v := lo; v < hi; v++ {
 		base := v * grid.Degree
-		scratch[0] = cur[e.neighbors[base]]
-		scratch[1] = cur[e.neighbors[base+1]]
-		scratch[2] = cur[e.neighbors[base+2]]
-		scratch[3] = cur[e.neighbors[base+3]]
+		scratch[0] = cur[fwd[base]]
+		scratch[1] = cur[fwd[base+1]]
+		scratch[2] = cur[fwd[base+2]]
+		scratch[3] = cur[fwd[base+3]]
 		nc := e.rule.Next(cur[v], scratch[:])
 		next[v] = nc
 		if nc != cur[v] {
@@ -223,6 +299,8 @@ func (e *Engine) Run(initial *color.Coloring, opt Options) *Result {
 // Observers do not receive OnFinish for an aborted run.
 //
 // On a nil error the returned Result is complete, exactly as from Run.
+// Sequential runs use the dirty-frontier stepper unless Options.FullSweep
+// is set; parallel runs use the striped sweep.  All paths are bit-identical.
 func (e *Engine) RunContext(ctx context.Context, initial *color.Coloring, opt Options) (*Result, error) {
 	d := e.topo.Dims()
 	if initial.Dims() != d {
@@ -234,11 +312,30 @@ func (e *Engine) RunContext(ctx context.Context, initial *color.Coloring, opt Op
 	}
 	workers := opt.EffectiveWorkers(d.N())
 
-	cur := initial.Clone()
-	next := initial.Clone()
+	st := e.getState(opt.FreshBuffers)
+	defer e.putState(st, opt.FreshBuffers)
+
+	if workers == 1 && !opt.FullSweep {
+		return e.runFrontier(ctx, st, initial, opt, maxRounds)
+	}
+	return e.runSweep(ctx, st, initial, opt, maxRounds, workers)
+}
+
+// runSweep is the full-sweep driver: the original double-buffered loop over
+// all n vertices every round, sequentially or striped across workers.  It is
+// the oracle the frontier path is differentially tested against.
+func (e *Engine) runSweep(ctx context.Context, st *runState, initial *color.Coloring, opt Options, maxRounds, workers int) (*Result, error) {
+	d := e.topo.Dims()
+	cur := st.f.cfg
+	cur.CopyFrom(initial)
+	next := st.next
 	var prevPrev *color.Coloring
 	if opt.DetectCycles {
-		prevPrev = initial.Clone()
+		if st.prevPrev == nil {
+			st.prevPrev = color.NewColoring(d, color.None)
+		}
+		prevPrev = st.prevPrev
+		prevPrev.CopyFrom(initial)
 	}
 
 	res := &Result{MonotoneTarget: true, Workers: workers}
@@ -255,12 +352,7 @@ func (e *Engine) RunContext(ctx context.Context, initial *color.Coloring, opt Op
 
 	for round := 1; round <= maxRounds; round++ {
 		if err := ctx.Err(); err != nil {
-			res.Final = cur.Clone()
-			res.FinalColor, res.Monochromatic = res.Final.IsMonochromatic()
-			if opt.Target == color.None {
-				res.MonotoneTarget = false
-			}
-			return res, err
+			return finishAborted(res, cur, opt), err
 		}
 		var changed int
 		if workers > 1 {
@@ -311,15 +403,27 @@ func (e *Engine) RunContext(ctx context.Context, initial *color.Coloring, opt Op
 		cur, next = next, cur
 	}
 
-	res.Final = cur.Clone()
-	res.FinalColor, res.Monochromatic = res.Final.IsMonochromatic()
-	if opt.Target == color.None {
-		res.MonotoneTarget = false
-	}
+	finish(res, cur, opt)
 	for _, o := range opt.Observers {
 		o.OnFinish(res)
 	}
 	return res, nil
+}
+
+// finish fills the terminal fields of a completed run from the final
+// configuration.
+func finish(res *Result, final *color.Coloring, opt Options) {
+	res.Final = final.Clone()
+	res.FinalColor, res.Monochromatic = res.Final.IsMonochromatic()
+	if opt.Target == color.None {
+		res.MonotoneTarget = false
+	}
+}
+
+// finishAborted is finish for a context-canceled run (no OnFinish).
+func finishAborted(res *Result, final *color.Coloring, opt Options) *Result {
+	finish(res, final, opt)
+	return res
 }
 
 // Run is a convenience wrapper constructing a throwaway engine.  Prefer

@@ -1,0 +1,327 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/color"
+	"repro/internal/grid"
+	"repro/internal/rules"
+)
+
+// Frontier is the dirty-frontier stepper: the allocation-free core that
+// makes late-convergence rounds cheap.  A synchronous rule is local, so a
+// vertex can change color in round t+1 only if its own color or a neighbor's
+// color changed in round t; everything else is guaranteed to repeat its
+// previous output.  The stepper therefore keeps the configuration in a
+// single buffer updated in place through a per-round change journal, and
+// re-evaluates in round t+1 exactly the vertices v with
+//
+//	v ∈ changed(t) ∪ { u : N(u) ∩ changed(t) ≠ ∅ }
+//
+// using the topology's reverse CSR index for the second set.  Round 1
+// evaluates every vertex (nothing is known about the initial configuration).
+// The journal also powers incremental bookkeeping that would otherwise cost
+// O(n) per round: a color histogram for the monochromatic stop condition and
+// a last-change trace for period-2 cycle detection, so a whole run does no
+// full-lattice work after setup.
+//
+// Results are bit-identical to the full-sweep steppers: evaluation reads
+// only pre-round state (changes are journaled and applied after the scan),
+// and the paper's rules are pure functions of the neighborhood.
+//
+// A Frontier is single-goroutine state.  All of its buffers are allocated at
+// construction and recycled by Reset, so steady-state Step calls perform
+// zero heap allocations (pinned by TestFrontierStepDoesNotAllocate); engines
+// pool Frontier values across runs, which extends the guarantee across
+// dynmon Session batches.
+type Frontier struct {
+	e   *Engine
+	cfg *color.Coloring
+	// epoch[v] is the round for which v was last scheduled; the queue for
+	// round r holds each vertex at most once, marked epoch[v] == r.
+	epoch []int32
+	// queue holds the vertices to evaluate this round; nextQueue is built
+	// from the change journal while the round is applied.
+	queue, nextQueue []int32
+	// chV/chOld/chNew journal the vertices that changed in the last Step,
+	// with their colors before and after.
+	chV   []int32
+	chOld []color.Color
+	chNew []color.Color
+	// lastRound[v] is the last round in which v changed, lastOld[v] its
+	// color just before that change; together they detect period-2 cycles
+	// without comparing whole configurations.
+	lastRound []int32
+	lastOld   []color.Color
+	// hist[c] counts vertices of color c; nonzero counts colors present.
+	hist    []int
+	nonzero int
+	// prevChanged is the journal size of the previous round, cycle whether
+	// the last Step exactly undid the round before it.
+	prevChanged int
+	cycle       bool
+	round       int
+	// scratch backs the slice-path rule invocation for rules without the
+	// counts fast path, kept here so Step stays allocation-free.
+	scratch [grid.Degree]color.Color
+}
+
+// newFrontier allocates a frontier with a blank configuration; callers must
+// Reset before stepping.  Engines recycle frontiers through their run-state
+// pool, so this runs once per pooled state, not once per run.
+func newFrontier(e *Engine) *Frontier {
+	n := e.topo.Dims().N()
+	return &Frontier{
+		e:         e,
+		cfg:       color.NewColoring(e.topo.Dims(), color.None),
+		epoch:     make([]int32, n),
+		queue:     make([]int32, 0, n),
+		nextQueue: make([]int32, 0, n),
+		chV:       make([]int32, 0, n),
+		chOld:     make([]color.Color, 0, n),
+		chNew:     make([]color.Color, 0, n),
+		lastRound: make([]int32, n),
+		lastOld:   make([]color.Color, n),
+	}
+}
+
+// NewFrontier returns a frontier stepper over the engine's topology and
+// rule, initialized to the given configuration.  It is the public entry
+// point for benchmarks and callers that want to drive rounds by hand; Run
+// uses a pooled frontier internally.
+func (e *Engine) NewFrontier(initial *color.Coloring) *Frontier {
+	f := newFrontier(e)
+	f.Reset(initial)
+	return f
+}
+
+// Reset rewinds the frontier to round 0 on a new initial configuration,
+// reusing every buffer.  The configuration is copied; the argument is not
+// retained.
+func (f *Frontier) Reset(initial *color.Coloring) {
+	if initial.Dims() != f.cfg.Dims() {
+		panic(fmt.Sprintf("sim: Frontier.Reset dimension mismatch %v vs %v", initial.Dims(), f.cfg.Dims()))
+	}
+	f.cfg.CopyFrom(initial)
+	n := f.cfg.N()
+	f.round = 0
+	f.prevChanged = 0
+	f.cycle = false
+	for i := range f.epoch {
+		f.epoch[i] = 0
+	}
+	for i := range f.lastRound {
+		f.lastRound[i] = -1
+	}
+	// Round 1 evaluates everything.
+	f.queue = f.queue[:0]
+	for v := 0; v < n; v++ {
+		f.queue = append(f.queue, int32(v))
+		f.epoch[v] = 1
+	}
+	f.chV, f.chOld, f.chNew = f.chV[:0], f.chOld[:0], f.chNew[:0]
+	// Histogram of the initial configuration.
+	for i := range f.hist {
+		f.hist[i] = 0
+	}
+	f.nonzero = 0
+	for _, c := range f.cfg.Cells() {
+		f.histInc(c)
+	}
+}
+
+func (f *Frontier) histInc(c color.Color) {
+	i := int(c)
+	for i >= len(f.hist) {
+		// Grows only when a color larger than any seen before appears
+		// (possible under the increment rule); steady state never grows.
+		f.hist = append(f.hist, 0)
+	}
+	f.hist[i]++
+	if f.hist[i] == 1 {
+		f.nonzero++
+	}
+}
+
+func (f *Frontier) histDec(c color.Color) {
+	f.hist[int(c)]--
+	if f.hist[int(c)] == 0 {
+		f.nonzero--
+	}
+}
+
+// Config returns the current configuration.  It is the frontier's working
+// buffer: valid until the next Step or Reset, and must not be mutated.
+func (f *Frontier) Config() *color.Coloring { return f.cfg }
+
+// Round returns the number of rounds stepped since the last Reset.
+func (f *Frontier) Round() int { return f.round }
+
+// Size returns the number of vertices scheduled for evaluation in the next
+// round — the dirty frontier's width.  It is n right after Reset and shrinks
+// toward the active region as the dynamics localize.
+func (f *Frontier) Size() int { return len(f.queue) }
+
+// Changed returns the journal of the last Step: the vertices that changed
+// color, in evaluation order.  The slice is reused by the next Step.
+func (f *Frontier) Changed() []int32 { return f.chV }
+
+// Monochromatic reports whether the current configuration is monochromatic,
+// maintained incrementally from the change journal in O(changes) per round.
+func (f *Frontier) Monochromatic() bool { return f.nonzero == 1 }
+
+// Cycle reports whether the last Step exactly undid the one before it, i.e.
+// the configuration equals the one two rounds ago — the period-2 oscillation
+// the reversible majority rules can enter.  Like Monochromatic it is
+// maintained from the journals alone: round r is a cycle iff its journal has
+// the same size as round r-1's and every entry flips a vertex straight back
+// (lastRound[v] == r-1 and lastOld[v] == the new color).
+func (f *Frontier) Cycle() bool { return f.cycle }
+
+// Step applies one synchronous round to the dirty frontier and returns the
+// number of vertices that changed color.  Zero means the configuration is a
+// fixed point (and the frontier is empty, so further Steps are O(1)).
+func (f *Frontier) Step() int {
+	f.round++
+	r := int32(f.round)
+	cells := f.cfg.Cells()
+	fwd := f.e.csr.Neighbors
+
+	// Evaluate the frontier against pre-round state, journaling changes.
+	f.chV, f.chOld, f.chNew = f.chV[:0], f.chOld[:0], f.chNew[:0]
+	if cr := f.e.countRule; cr != nil {
+		for _, v := range f.queue {
+			base := int(v) * grid.Degree
+			var cs rules.Counts
+			cs.Add(cells[fwd[base]])
+			cs.Add(cells[fwd[base+1]])
+			cs.Add(cells[fwd[base+2]])
+			cs.Add(cells[fwd[base+3]])
+			cur := cells[v]
+			if nc := cr.NextFromCounts(cur, cs); nc != cur {
+				f.chV = append(f.chV, v)
+				f.chOld = append(f.chOld, cur)
+				f.chNew = append(f.chNew, nc)
+			}
+		}
+	} else {
+		rule := f.e.rule
+		for _, v := range f.queue {
+			base := int(v) * grid.Degree
+			f.scratch[0] = cells[fwd[base]]
+			f.scratch[1] = cells[fwd[base+1]]
+			f.scratch[2] = cells[fwd[base+2]]
+			f.scratch[3] = cells[fwd[base+3]]
+			cur := cells[v]
+			if nc := rule.Next(cur, f.scratch[:]); nc != cur {
+				f.chV = append(f.chV, v)
+				f.chOld = append(f.chOld, cur)
+				f.chNew = append(f.chNew, nc)
+			}
+		}
+	}
+
+	// Apply the journal: commit colors, maintain the histogram and the
+	// period-2 trace.
+	cycle := len(f.chV) > 0 && len(f.chV) == f.prevChanged
+	for i, v := range f.chV {
+		old, nc := f.chOld[i], f.chNew[i]
+		if cycle && !(f.lastRound[v] == r-1 && f.lastOld[v] == nc) {
+			cycle = false
+		}
+		cells[v] = nc
+		f.histDec(old)
+		f.histInc(nc)
+		f.lastRound[v] = r
+		f.lastOld[v] = old
+	}
+	f.cycle = cycle
+	f.prevChanged = len(f.chV)
+
+	// Schedule round r+1: the changed vertices and everyone who reads them.
+	f.nextQueue = f.nextQueue[:0]
+	rev, revOff := f.e.csr.Rev, f.e.csr.RevOff
+	mark := r + 1
+	for _, v := range f.chV {
+		if f.epoch[v] != mark {
+			f.epoch[v] = mark
+			f.nextQueue = append(f.nextQueue, v)
+		}
+		for _, u := range rev[revOff[v]:revOff[v+1]] {
+			if f.epoch[u] != mark {
+				f.epoch[u] = mark
+				f.nextQueue = append(f.nextQueue, u)
+			}
+		}
+	}
+	f.queue, f.nextQueue = f.nextQueue, f.queue
+	return len(f.chV)
+}
+
+// runFrontier is RunContext's sequential driver over a pooled frontier.  It
+// mirrors runSweep's control flow exactly — same stop conditions checked in
+// the same order — with all per-round bookkeeping done on the change journal
+// instead of the full lattice.
+func (e *Engine) runFrontier(ctx context.Context, st *runState, initial *color.Coloring, opt Options, maxRounds int) (*Result, error) {
+	d := e.topo.Dims()
+	f := st.f
+	f.Reset(initial)
+
+	res := &Result{MonotoneTarget: true, Workers: 1}
+	if opt.Target != color.None {
+		res.FirstReached = make([]int, d.N())
+		for v := 0; v < d.N(); v++ {
+			if initial.At(v) == opt.Target {
+				res.FirstReached[v] = 0
+			} else {
+				res.FirstReached[v] = -1
+			}
+		}
+	}
+
+	for round := 1; round <= maxRounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return finishAborted(res, f.cfg, opt), err
+		}
+		changed := f.Step()
+		res.Rounds = round
+		res.ChangesPerRound = append(res.ChangesPerRound, changed)
+
+		if opt.Target != color.None {
+			for i, v := range f.chV {
+				old, nc := f.chOld[i], f.chNew[i]
+				if old == opt.Target && nc != opt.Target {
+					res.MonotoneTarget = false
+				}
+				if nc == opt.Target && res.FirstReached[v] < 0 {
+					res.FirstReached[v] = round
+				}
+			}
+		}
+		if opt.RecordHistory {
+			res.History = append(res.History, f.cfg.Clone())
+		}
+		for _, o := range opt.Observers {
+			o.OnRound(round, f.cfg)
+		}
+
+		if changed == 0 {
+			res.FixedPoint = true
+			break
+		}
+		if opt.StopWhenMonochromatic && f.Monochromatic() {
+			break
+		}
+		if opt.DetectCycles && f.Cycle() {
+			res.Cycle = true
+			break
+		}
+	}
+
+	finish(res, f.cfg, opt)
+	for _, o := range opt.Observers {
+		o.OnFinish(res)
+	}
+	return res, nil
+}
