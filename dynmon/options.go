@@ -147,6 +147,41 @@ func FullSweep() RunOption {
 	return func(o *sim.Options) { o.FullSweep = true }
 }
 
+// KernelTier identifies one of the engine's stepping tiers.  All tiers are
+// bit-identical; they differ only in speed.  Result.Kernel reports the tier
+// a run actually used (with Result.Downshift marking an auto-tier mid-run
+// handoff from the bitplane to the frontier).
+type KernelTier = sim.Kernel
+
+const (
+	// KernelAuto (the default) picks the bitplane kernel when the rule,
+	// topology and coloring qualify, the parallel sweep when Parallel is
+	// set, and the dirty frontier otherwise.
+	KernelAuto = sim.KernelAuto
+	// KernelBitplane forces the word-parallel bit-sliced stepper (runs on
+	// uint64 bit planes, 64 vertices per word operation).  Runs whose rule,
+	// topology or coloring do not qualify return an error wrapping
+	// ErrBitplaneIneligible.
+	KernelBitplane = sim.KernelBitplane
+	// KernelFrontier forces the sequential dirty-frontier stepper.
+	KernelFrontier = sim.KernelFrontier
+	// KernelSweep forces the sequential full-sweep oracle stepper.
+	KernelSweep = sim.KernelSweep
+	// KernelParallel forces the striped parallel sweep.
+	KernelParallel = sim.KernelParallel
+)
+
+// ErrBitplaneIneligible is the error (wrapped) returned by runs that force
+// KernelBitplane on a rule, topology or coloring with no exact
+// word-parallel form.
+var ErrBitplaneIneligible = sim.ErrBitplaneIneligible
+
+// Kernel forces the run's stepping tier instead of the automatic selection.
+// See the KernelTier constants; the tier used is reported on Result.Kernel.
+func Kernel(k KernelTier) RunOption {
+	return func(o *sim.Options) { o.Kernel = k }
+}
+
 // FreshBuffers makes the run allocate its own working buffers instead of
 // borrowing from the engine's per-run buffer pool.
 func FreshBuffers() RunOption {

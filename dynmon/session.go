@@ -67,8 +67,12 @@ func (se *Session) ReusesBuffers() bool { return !se.fresh }
 func (se *Session) RunBatch(ctx context.Context, initials []*Coloring, opts ...RunOption) ([]*Result, error) {
 	opt := buildRunOptions(opts)
 	// Per-run parallel stepping would oversubscribe the pool; the batch is
-	// the unit of parallelism.
+	// the unit of parallelism.  A forced parallel tier is normalized to the
+	// sweep it would otherwise degrade to, for the same reason.
 	opt.Parallel = false
+	if opt.Kernel == KernelParallel {
+		opt.Kernel = KernelSweep
+	}
 	// The session default composes with a per-run FreshBuffers() option:
 	// either opting out disables reuse.
 	opt.FreshBuffers = opt.FreshBuffers || se.fresh

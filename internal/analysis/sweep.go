@@ -69,6 +69,12 @@ func RunPoint(p Point) Record {
 // Sweep runs fn over every point, spreading the work over `workers`
 // goroutines (GOMAXPROCS when workers <= 0).  The result order matches the
 // input order.
+//
+// Engines are not constructed per point: the verification path runs through
+// sim.EngineOf, a process-wide cache keyed by (topology, rule) value, so
+// every point over the same topology — across all sweep workers — shares
+// one engine and its pooled run buffers instead of paying construction and
+// warm-up allocations per point.
 func Sweep(points []Point, workers int, fn func(Point) Record) []Record {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)

@@ -1,0 +1,83 @@
+package color
+
+// Bit-plane packing: the representation behind the engine's word-parallel
+// stepper.  A coloring over the palette {1..k}, k ≤ MaxPlaneColors, is
+// sliced into PlanesFor(k) bit planes of ⌈n/64⌉ uint64 words each: bit v of
+// plane b is bit b of the encoding (color-1) of vertex v.  One word then
+// carries one plane of 64 consecutive vertices, and a local rule whose
+// decision has a closed bitwise form can evaluate all 64 at once.
+
+// MaxPlaneColors is the largest palette size the bit-plane representation
+// supports (two planes of encodings 0..3).
+const MaxPlaneColors = 4
+
+// PlanesFor returns the number of bit planes needed to encode the palette
+// {1..k}: one plane for k ≤ 2, two for k ≤ 4.  ok is false beyond
+// MaxPlaneColors (and for k < 1).
+func PlanesFor(k int) (planes int, ok bool) {
+	switch {
+	case k < 1:
+		return 0, false
+	case k <= 2:
+		return 1, true
+	case k <= MaxPlaneColors:
+		return 2, true
+	default:
+		return 0, false
+	}
+}
+
+// PlaneWords returns the number of uint64 words of one bit plane over n
+// vertices: ⌈n/64⌉.
+func PlaneWords(n int) int { return (n + 63) >> 6 }
+
+// PlaneTailMask returns the mask of the valid lanes of the last plane word:
+// bits n%64.. of word ⌈n/64⌉-1 correspond to no vertex and are kept zero.
+func PlaneTailMask(n int) uint64 {
+	if r := uint(n & 63); r != 0 {
+		return (uint64(1) << r) - 1
+	}
+	return ^uint64(0)
+}
+
+// PackPlanes bit-slices cells into the given planes (1 or 2 slices of
+// PlaneWords(len(cells)) words each).  Bit v of planes[b] receives bit b of
+// cells[v]-1; lanes beyond len(cells) in the tail word are zeroed.  It
+// reports false — leaving the planes in an unspecified state — when any cell
+// falls outside the representable range {1 .. 1<<len(planes)}, which is how
+// the engine detects colorings (e.g. containing None) that do not qualify
+// for the bit-sliced tier.
+func PackPlanes(cells []Color, planes [][]uint64) bool {
+	words := PlaneWords(len(cells))
+	for b := range planes {
+		plane := planes[b][:words]
+		for w := range plane {
+			plane[w] = 0
+		}
+	}
+	limit := 1 << len(planes)
+	for v, c := range cells {
+		e := int(c) - 1
+		if e < 0 || e >= limit {
+			return false
+		}
+		w, bit := v>>6, uint(v&63)
+		for b := range planes {
+			planes[b][w] |= uint64((e>>b)&1) << bit
+		}
+	}
+	return true
+}
+
+// UnpackPlanes is the inverse of PackPlanes: it reconstructs cells[v] =
+// encoding+1 from the planes.  Lanes beyond len(cells) are ignored.
+func UnpackPlanes(planes [][]uint64, cells []Color) {
+	for v := range cells {
+		w, bit := v>>6, uint(v&63)
+		e := 0
+		for b := range planes {
+			e |= int((planes[b][w]>>bit)&1) << b
+		}
+		cells[v] = Color(e + 1)
+	}
+}

@@ -1,0 +1,98 @@
+package color
+
+import (
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/rng"
+)
+
+func TestPlanesFor(t *testing.T) {
+	cases := []struct {
+		k, planes int
+		ok        bool
+	}{
+		{0, 0, false}, {1, 1, true}, {2, 1, true}, {3, 2, true}, {4, 2, true}, {5, 0, false},
+	}
+	for _, c := range cases {
+		planes, ok := PlanesFor(c.k)
+		if planes != c.planes || ok != c.ok {
+			t.Errorf("PlanesFor(%d) = (%d, %v), want (%d, %v)", c.k, planes, ok, c.planes, c.ok)
+		}
+	}
+}
+
+func TestPlaneWordsAndTailMask(t *testing.T) {
+	if PlaneWords(64) != 1 || PlaneWords(65) != 2 || PlaneWords(4) != 1 {
+		t.Fatal("PlaneWords wrong")
+	}
+	if PlaneTailMask(64) != ^uint64(0) {
+		t.Fatal("full tail word must have a full mask")
+	}
+	if PlaneTailMask(4) != 0xF {
+		t.Fatalf("PlaneTailMask(4) = %x", PlaneTailMask(4))
+	}
+	if PlaneTailMask(65) != 1 {
+		t.Fatalf("PlaneTailMask(65) = %x", PlaneTailMask(65))
+	}
+}
+
+// TestPackUnpackRoundTrip packs random colorings over every supported
+// palette and size shape (word-multiple and not, 2×n degenerates) and
+// requires a lossless round trip plus a zeroed tail.
+func TestPackUnpackRoundTrip(t *testing.T) {
+	src := rng.New(7)
+	for _, k := range []int{1, 2, 3, 4} {
+		planesN, _ := PlanesFor(k)
+		for _, sz := range [][2]int{{2, 2}, {2, 7}, {8, 8}, {3, 67}, {5, 13}} {
+			d := grid.MustDims(sz[0], sz[1])
+			p := MustPalette(k)
+			c := RandomColoring(d, p, func() int { return src.Intn(p.K) })
+			words := PlaneWords(d.N())
+			planes := make([][]uint64, planesN)
+			for b := range planes {
+				// Dirty buffers: PackPlanes must fully overwrite.
+				planes[b] = make([]uint64, words)
+				for w := range planes[b] {
+					planes[b][w] = ^uint64(0)
+				}
+			}
+			if !PackPlanes(c.Cells(), planes) {
+				t.Fatalf("k=%d %v: pack refused a valid coloring", k, d)
+			}
+			tail := PlaneTailMask(d.N())
+			for b := range planes {
+				if planes[b][words-1]&^tail != 0 {
+					t.Fatalf("k=%d %v: plane %d tail not zeroed", k, d, b)
+				}
+			}
+			out := NewColoring(d, None)
+			UnpackPlanes(planes, out.Cells())
+			if !out.Equal(c) {
+				t.Fatalf("k=%d %v: round trip lost data", k, d)
+			}
+		}
+	}
+}
+
+// TestPackPlanesRejectsOutOfRange: None (0) and colors beyond the plane
+// capacity must be refused, which is how the engine detects non-qualifying
+// colorings.
+func TestPackPlanesRejectsOutOfRange(t *testing.T) {
+	d := grid.MustDims(3, 3)
+	words := PlaneWords(d.N())
+	planes := [][]uint64{make([]uint64, words)}
+	c := NewColoring(d, 1)
+	c.Set(4, None)
+	if PackPlanes(c.Cells(), planes) {
+		t.Fatal("pack must reject None")
+	}
+	c.Set(4, 3) // 3 needs two planes; only one given
+	if PackPlanes(c.Cells(), planes) {
+		t.Fatal("pack must reject colors beyond the plane capacity")
+	}
+	planes = append(planes, make([]uint64, words))
+	if !PackPlanes(c.Cells(), planes) {
+		t.Fatal("two planes must accept color 3")
+	}
+}

@@ -78,6 +78,12 @@ func BuildCSR(t Topology) *CSR {
 // index no matter how many engines are built over them.
 var csrCache sync.Map // Topology -> *CSR
 
+// comparableTopology reports whether a topology value can be used as a map
+// key, the precondition of the per-topology caches (CSROf, ShiftPlanOf).
+func comparableTopology(t Topology) bool {
+	return reflect.TypeOf(t).Comparable()
+}
+
 // CSROf returns the (possibly cached) CSR index of a topology.  Topologies
 // whose dynamic type is not comparable cannot be used as cache keys and get
 // a fresh index per call.
@@ -87,7 +93,7 @@ var csrCache sync.Map // Topology -> *CSR
 // distinct sizes that must bound memory can call BuildCSR through their own
 // cache instead.
 func CSROf(t Topology) *CSR {
-	if !reflect.TypeOf(t).Comparable() {
+	if !comparableTopology(t) {
 		return BuildCSR(t)
 	}
 	if cached, ok := csrCache.Load(t); ok {

@@ -1,0 +1,93 @@
+package grid
+
+import "testing"
+
+// TestShiftPlanMatchesNeighbors verifies on every built-in topology and a
+// spread of sizes (including 2×n degenerates and non-word-multiple rows)
+// that the shift decomposition reproduces the topology's neighbor function
+// exactly: rotation for unpatched lanes, patch list for the rest.
+func TestShiftPlanMatchesNeighbors(t *testing.T) {
+	sizes := [][2]int{{2, 2}, {2, 7}, {7, 2}, {3, 3}, {4, 6}, {5, 13}, {9, 9}, {3, 67}}
+	for _, kind := range Kinds() {
+		for _, sz := range sizes {
+			topo := MustNew(kind, sz[0], sz[1])
+			plan, ok := ShiftPlanOf(topo)
+			if !ok {
+				t.Fatalf("%v %dx%d: expected shift-regular", kind, sz[0], sz[1])
+			}
+			d := topo.Dims()
+			n := d.N()
+			var buf [Degree]int
+			for p := 0; p < Degree; p++ {
+				port := plan.Ports[p]
+				// Reconstruct the port's neighbor map: rotation, then patches.
+				got := make([]int, n)
+				for v := 0; v < n; v++ {
+					got[v] = (v + port.Shift) % n
+				}
+				for i, db := range port.FixDst {
+					got[db] = int(port.FixSrc[i])
+				}
+				for v := 0; v < n; v++ {
+					want := topo.Neighbors(v, buf[:0])[p]
+					if got[v] != want {
+						t.Fatalf("%v %dx%d port %d: plan says neighbor(%d)=%d, topology says %d",
+							kind, sz[0], sz[1], p, v, got[v], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShiftPlanFixupShapes pins the structural expectations: the toroidal
+// mesh patches only the row wrap of its left/right ports, the torus cordalis
+// is a pure rotation group (its spiral makes left/right exactly ∓1 on the
+// flat order), and the serpentinus patches only the column spiral of its
+// up/down ports.
+func TestShiftPlanFixupShapes(t *testing.T) {
+	m, n := 6, 9
+	cases := []struct {
+		kind Kind
+		want [Degree]int // fixups per port (up, down, left, right)
+	}{
+		{KindToroidalMesh, [Degree]int{0, 0, m, m}},
+		{KindTorusCordalis, [Degree]int{0, 0, 0, 0}},
+		{KindTorusSerpentinus, [Degree]int{n, n, 0, 0}},
+	}
+	for _, c := range cases {
+		plan, ok := ShiftPlanOf(MustNew(c.kind, m, n))
+		if !ok {
+			t.Fatalf("%v: expected shift-regular", c.kind)
+		}
+		for p := 0; p < Degree; p++ {
+			if got := len(plan.Ports[p].FixDst); got != c.want[p] {
+				t.Errorf("%v port %d: %d fixups, want %d", c.kind, p, got, c.want[p])
+			}
+		}
+	}
+}
+
+// irregularTopology wraps a torus but scrambles one port's neighbor far
+// beyond the fixup budget, so it must not be recognized as shift-regular.
+type irregularTopology struct{ Topology }
+
+func (i irregularTopology) Neighbors(v int, buf []int) []int {
+	ns := i.Topology.Neighbors(v, buf)
+	d := i.Dims()
+	// Port 3 points at a pseudo-random vertex: no single rotation covers a
+	// majority of lanes.
+	ns[3] = (v*v + 7*v + 3) % d.N()
+	return ns
+}
+
+func TestShiftPlanRejectsIrregularTopology(t *testing.T) {
+	topo := irregularTopology{MustNew(KindToroidalMesh, 8, 8)}
+	if _, ok := ShiftPlanOf(topo); ok {
+		t.Fatal("irregular topology must not be shift-regular")
+	}
+	// And the negative probe must be cached without panicking on re-query.
+	if _, ok := ShiftPlanOf(topo); ok {
+		t.Fatal("cached negative probe disagreed with the first")
+	}
+}

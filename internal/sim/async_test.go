@@ -78,6 +78,71 @@ func TestRunAsyncMaxSweeps(t *testing.T) {
 	}
 }
 
+// naiveAsyncSweep is the pre-CSR reference implementation of one raster
+// sweep: per-vertex neighbor gathering through the Topology interface and
+// rule evaluation through Rule.Next, committing updates in place.  It is
+// the parity oracle for RunAsync's rewiring onto the cached CSR index and
+// the rules.CountRule fast path.
+func naiveAsyncSweep(topo grid.Topology, rule rules.Rule, cfg *color.Coloring) int {
+	changed := 0
+	n := cfg.N()
+	nbuf := make([]int, 0, grid.Degree)
+	cbuf := make([]color.Color, grid.Degree)
+	for v := 0; v < n; v++ {
+		nbuf = topo.Neighbors(v, nbuf[:0])
+		for i, u := range nbuf {
+			cbuf[i] = cfg.At(u)
+		}
+		if nc := rule.Next(cfg.At(v), cbuf[:len(nbuf)]); nc != cfg.At(v) {
+			cfg.Set(v, nc)
+			changed++
+		}
+	}
+	return changed
+}
+
+// TestRunAsyncParityWithNaivePath pins RunAsync's CSR + CountRule fast path
+// bit-identical to the old interface-driven sweep, on every registered rule
+// and topology kind (table-driven, seeded), including degenerate 2×n tori.
+func TestRunAsyncParityWithNaivePath(t *testing.T) {
+	sizes := [][2]int{{2, 5}, {5, 2}, {6, 7}}
+	for _, name := range rules.RegisteredNames() {
+		rule, err := rules.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, kind := range grid.Kinds() {
+			for _, sz := range sizes {
+				topo := grid.MustNew(kind, sz[0], sz[1])
+				eng := NewEngine(topo, rule)
+				for seed := uint64(1); seed <= 2; seed++ {
+					initial := randomColoring(seed, sz[0], sz[1], 4)
+					const sweeps = 15
+					res := eng.RunAsync(initial, AsyncOptions{MaxSweeps: sweeps, Order: AsyncRaster})
+
+					want := initial.Clone()
+					wantSweeps, fixed := 0, false
+					for s := 1; s <= sweeps; s++ {
+						wantSweeps = s
+						if naiveAsyncSweep(topo, rule, want) == 0 {
+							fixed = true
+							break
+						}
+					}
+					label := name + "/" + topo.Name() + "/" + topo.Dims().String()
+					if !res.Final.Equal(want) {
+						t.Fatalf("%s: CSR async path diverged from the naive path", label)
+					}
+					if res.Sweeps != wantSweeps || res.FixedPoint != fixed {
+						t.Fatalf("%s: sweeps/fixed (%d,%v) vs naive (%d,%v)",
+							label, res.Sweeps, res.FixedPoint, wantSweeps, fixed)
+					}
+				}
+			}
+		}
+	}
+}
+
 func TestRunAsyncDimensionMismatchPanics(t *testing.T) {
 	topo := grid.MustNew(grid.KindToroidalMesh, 4, 4)
 	defer func() {

@@ -1,0 +1,536 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"repro/internal/color"
+	"repro/internal/grid"
+	"repro/internal/rules"
+)
+
+// ErrBitplaneIneligible is wrapped by the errors NewBitplane (and a run with
+// a forced KernelBitplane) returns when the engine's rule, topology or the
+// run's coloring has no exact word-parallel form.
+var ErrBitplaneIneligible = errors.New("sim: combination does not qualify for the bitplane kernel")
+
+// Bitplane is the bit-sliced stepper: the configuration lives as one or two
+// bit planes of ⌈n/64⌉ uint64 words (bit v of plane b is bit b of the color
+// encoding of vertex v), neighbor gathering is a word rotation per port plus
+// O(rows+cols) border patches (grid.ShiftPlanOf), and the rule recolors 64
+// vertices per word operation through its rules.BitKernel.  On the early
+// high-churn rounds of a run — where the dirty frontier is the whole lattice
+// and the scalar sweep is memory-bound — this is roughly an order of
+// magnitude faster per round than the sequential sweep.
+//
+// A Bitplane requires all three of:
+//
+//   - a rule implementing rules.BitRule with a kernel for the palette;
+//   - a shift-regular topology (all three of the paper's tori qualify);
+//   - colors within {1..4} (⌈log₂k⌉ ≤ 2 planes).
+//
+// Results are bit-identical to the full-sweep oracle; the differential tests
+// in bitplane_test.go pin this on every qualifying rule × topology pair.
+//
+// Like Frontier, a Bitplane is single-goroutine state (the engine stripes
+// kernel words across the worker pool internally on parallel runs); all
+// buffers are allocated at construction and recycled by Reset, so
+// steady-state Step calls perform zero heap allocations.
+type Bitplane struct {
+	e    *Engine
+	plan *grid.ShiftPlan
+	kern rules.BitKernel
+	// k is the palette size in force (the largest color of the initial
+	// configuration); planes is ⌈log₂k⌉ clamped to 1.
+	k, planes int
+	// nbits is the vertex count, words the plane length ⌈nbits/64⌉ and
+	// tailMask the valid-lane mask of the last word.
+	nbits, words int
+	tailMask     uint64
+	// st is the kernel's working set: current planes, per-port shifted
+	// planes and output planes.
+	st rules.BitState
+	// prevPrev holds the configuration two rounds back for period-2 cycle
+	// detection (maintained only while detectCycles is set).
+	prevPrev  [rules.MaxBitPlanes][]uint64
+	cycleBase int
+	// changed[w] is the per-word diff mask of the last Step.
+	changed []uint64
+	// tgtEver/tgtPrev/tgtCur back the engine's word-parallel target-spread
+	// bookkeeping (FirstReached / MonotoneTarget).
+	tgtEver, tgtPrev, tgtCur []uint64
+	// cfg is the lazily unpacked scalar view of the configuration.
+	cfg      *color.Coloring
+	cfgRound int
+
+	detectCycles bool
+	cycle        bool
+	prevChanged  int
+	round        int
+}
+
+// bitplaneCheck decides bitplane eligibility for a run over initial and
+// returns the palette size, shift plan and kernel on success.
+func (e *Engine) bitplaneCheck(initial *color.Coloring) (int, *grid.ShiftPlan, rules.BitKernel, error) {
+	if e.bitRule == nil {
+		return 0, nil, nil, fmt.Errorf("%w: rule %q has no word-parallel kernel", ErrBitplaneIneligible, e.rule.Name())
+	}
+	plan, ok := grid.ShiftPlanOf(e.topo)
+	if !ok {
+		return 0, nil, nil, fmt.Errorf("%w: topology %q is not shift-regular", ErrBitplaneIneligible, e.topo.Name())
+	}
+	k := 1
+	for _, c := range initial.Cells() {
+		if c < 1 || int(c) > color.MaxPlaneColors {
+			return 0, nil, nil, fmt.Errorf("%w: coloring contains color %v outside {1..%d}", ErrBitplaneIneligible, c, color.MaxPlaneColors)
+		}
+		if int(c) > k {
+			k = int(c)
+		}
+	}
+	kern, ok := e.bitRule.BitKernel(k)
+	if !ok {
+		return 0, nil, nil, fmt.Errorf("%w: rule %q has no kernel for palette {1..%d}", ErrBitplaneIneligible, e.rule.Name(), k)
+	}
+	return k, plan, kern, nil
+}
+
+// NewBitplane returns a bit-sliced stepper over the engine's topology and
+// rule, initialized to the given configuration, or an error (wrapping
+// ErrBitplaneIneligible) describing why the combination has no exact
+// word-parallel form.  It is the public entry point for benchmarks and
+// callers that drive rounds by hand; Run uses a pooled Bitplane internally.
+func (e *Engine) NewBitplane(initial *color.Coloring) (*Bitplane, error) {
+	d := e.topo.Dims()
+	if initial.Dims() != d {
+		panic(fmt.Sprintf("sim: NewBitplane dimension mismatch %v vs %v", initial.Dims(), d))
+	}
+	k, plan, kern, err := e.bitplaneCheck(initial)
+	if err != nil {
+		return nil, err
+	}
+	bp := e.newBitplaneBuffers()
+	if err := bp.resetWith(initial, k, plan, kern); err != nil {
+		return nil, err
+	}
+	return bp, nil
+}
+
+// newBitplaneBuffers allocates a blank stepper (all plane and bookkeeping
+// buffers, no configuration); callers must resetWith before stepping.
+func (e *Engine) newBitplaneBuffers() *Bitplane {
+	d := e.topo.Dims()
+	bp := &Bitplane{
+		e:        e,
+		nbits:    d.N(),
+		words:    color.PlaneWords(d.N()),
+		tailMask: color.PlaneTailMask(d.N()),
+		cfg:      color.NewColoring(d, color.None),
+		cfgRound: -1,
+	}
+	for b := 0; b < rules.MaxBitPlanes; b++ {
+		bp.st.Cur[b] = make([]uint64, bp.words)
+		bp.st.Next[b] = make([]uint64, bp.words)
+		bp.prevPrev[b] = make([]uint64, bp.words)
+		for p := 0; p < rules.BitPorts; p++ {
+			bp.st.Nbr[p][b] = make([]uint64, bp.words)
+		}
+	}
+	bp.changed = make([]uint64, bp.words)
+	bp.tgtEver = make([]uint64, bp.words)
+	bp.tgtPrev = make([]uint64, bp.words)
+	bp.tgtCur = make([]uint64, bp.words)
+	return bp
+}
+
+// Reset rewinds the stepper to round 0 on a new initial configuration,
+// reusing every buffer.  The palette size (and hence the plane count and
+// kernel) is re-derived from the configuration; the argument is copied, not
+// retained.  It returns an error wrapping ErrBitplaneIneligible when the new
+// configuration does not qualify.
+func (bp *Bitplane) Reset(initial *color.Coloring) error {
+	if initial.Dims() != bp.e.topo.Dims() {
+		panic(fmt.Sprintf("sim: Bitplane.Reset dimension mismatch %v vs %v", initial.Dims(), bp.e.topo.Dims()))
+	}
+	k, plan, kern, err := bp.e.bitplaneCheck(initial)
+	if err != nil {
+		return err
+	}
+	return bp.resetWith(initial, k, plan, kern)
+}
+
+// resetWith is Reset with the eligibility products already derived, so the
+// run drivers — which checked eligibility to pick the tier — do not rescan
+// the configuration.
+func (bp *Bitplane) resetWith(initial *color.Coloring, k int, plan *grid.ShiftPlan, kern rules.BitKernel) error {
+	bp.k, bp.plan, bp.kern = k, plan, kern
+	bp.planes, _ = color.PlanesFor(k)
+	bp.st.Planes = bp.planes
+	if !color.PackPlanes(initial.Cells(), bp.st.Cur[:bp.planes]) {
+		return fmt.Errorf("%w: coloring not representable in %d planes", ErrBitplaneIneligible, bp.planes)
+	}
+	bp.round, bp.prevChanged = 0, 0
+	bp.cycle, bp.detectCycles = false, false
+	bp.cycleBase = 0
+	bp.cfgRound = -1
+	return nil
+}
+
+// Round returns the number of rounds stepped since the last Reset.
+func (bp *Bitplane) Round() int { return bp.round }
+
+// Planes returns the number of live bit planes (1 for k ≤ 2, 2 for k ≤ 4).
+func (bp *Bitplane) Planes() int { return bp.planes }
+
+// Colors returns the palette size in force, re-derived from the initial
+// configuration at the last Reset.
+func (bp *Bitplane) Colors() int { return bp.k }
+
+// DetectCycles enables or disables period-2 cycle tracking.  It is off
+// after Reset because it costs one plane copy and compare per Step; the
+// engine switches it on for runs with Options.DetectCycles.
+func (bp *Bitplane) DetectCycles(on bool) {
+	bp.detectCycles = on
+	bp.cycle = false
+	bp.cycleBase = bp.round
+}
+
+// Cycle reports whether the last Step exactly undid the one before it, i.e.
+// the configuration equals the one two rounds ago.  Always false unless
+// DetectCycles(true) was called at least two rounds earlier.
+func (bp *Bitplane) Cycle() bool { return bp.cycle }
+
+// Step applies one synchronous round to all planes and returns the number
+// of vertices that changed color.
+func (bp *Bitplane) Step() int {
+	bp.shiftPlanes()
+	bp.kern.StepWords(&bp.st, 0, bp.words)
+	return bp.finishStep()
+}
+
+// stepStriped is Step with the kernel striped across the shared worker pool
+// (the neighbor shifts stay on the calling goroutine: they are a small
+// fraction of the word work).
+func (bp *Bitplane) stepStriped(st *runState, workers int) int {
+	bp.shiftPlanes()
+	if workers > bp.words {
+		workers = bp.words
+	}
+	if workers <= 1 {
+		bp.kern.StepWords(&bp.st, 0, bp.words)
+		return bp.finishStep()
+	}
+	st.stripeAcross(bp.words, workers, func(t *stripeTask, lo, hi int) {
+		*t = stripeTask{run: runBitKernelTask, wg: &st.wg, bst: &bp.st, kern: bp.kern, lo: lo, hi: hi}
+	})
+	return bp.finishStep()
+}
+
+// shiftPlanes rebuilds the four per-port shifted plane sets from the current
+// configuration planes.
+func (bp *Bitplane) shiftPlanes() {
+	for p := 0; p < rules.BitPorts; p++ {
+		port := &bp.plan.Ports[p]
+		for b := 0; b < bp.planes; b++ {
+			shiftPlane(bp.st.Nbr[p][b], bp.st.Cur[b], port, bp.nbits, bp.tailMask)
+		}
+	}
+}
+
+// finishStep masks the kernel output, maintains cycle tracking and the diff
+// mask, and commits Next as the new configuration.
+func (bp *Bitplane) finishStep() int {
+	bp.round++
+	st := &bp.st
+	for b := 0; b < bp.planes; b++ {
+		st.Next[b][bp.words-1] &= bp.tailMask
+	}
+	if bp.detectCycles {
+		if bp.round >= bp.cycleBase+2 {
+			cycle := true
+		compare:
+			for b := 0; b < bp.planes; b++ {
+				next, pp := st.Next[b], bp.prevPrev[b]
+				for w := range next {
+					if next[w] != pp[w] {
+						cycle = false
+						break compare
+					}
+				}
+			}
+			bp.cycle = cycle
+		}
+		for b := 0; b < bp.planes; b++ {
+			copy(bp.prevPrev[b], st.Cur[b])
+		}
+	}
+	changed := 0
+	for w := 0; w < bp.words; w++ {
+		var d uint64
+		for b := 0; b < bp.planes; b++ {
+			d |= st.Cur[b][w] ^ st.Next[b][w]
+		}
+		bp.changed[w] = d
+		changed += bits.OnesCount64(d)
+	}
+	st.Cur, st.Next = st.Next, st.Cur
+	bp.prevChanged = changed
+	return changed
+}
+
+// Unpack writes the current configuration into dst, which must have the
+// engine's dimensions.
+func (bp *Bitplane) Unpack(dst *color.Coloring) {
+	if dst.Dims() != bp.e.topo.Dims() {
+		panic(fmt.Sprintf("sim: Bitplane.Unpack dimension mismatch %v vs %v", dst.Dims(), bp.e.topo.Dims()))
+	}
+	color.UnpackPlanes(bp.st.Cur[:bp.planes], dst.Cells())
+}
+
+// Config returns the current configuration, unpacked lazily into an internal
+// buffer: valid until the next Step or Reset, and must not be mutated.
+func (bp *Bitplane) Config() *color.Coloring {
+	if bp.cfgRound != bp.round {
+		bp.Unpack(bp.cfg)
+		bp.cfgRound = bp.round
+	}
+	return bp.cfg
+}
+
+// Monochromatic reports whether every vertex carries the same color, by
+// checking that each plane is uniformly zero or uniformly one.
+func (bp *Bitplane) Monochromatic() bool {
+	for b := 0; b < bp.planes; b++ {
+		plane := bp.st.Cur[b]
+		var want uint64
+		if plane[0]&1 != 0 {
+			want = ^uint64(0)
+		}
+		for w := 0; w < bp.words-1; w++ {
+			if plane[w] != want {
+				return false
+			}
+		}
+		if plane[bp.words-1] != want&bp.tailMask {
+			return false
+		}
+	}
+	return true
+}
+
+// targetMask writes the per-lane indicator of "vertex carries t" into dst.
+// A target outside the representable encodings yields the zero mask.
+func (bp *Bitplane) targetMask(dst []uint64, t color.Color) {
+	enc := int(t) - 1
+	if enc < 0 || enc >= 1<<bp.planes {
+		for w := range dst[:bp.words] {
+			dst[w] = 0
+		}
+		return
+	}
+	for w := 0; w < bp.words; w++ {
+		m := ^uint64(0)
+		for b := 0; b < bp.planes; b++ {
+			x := bp.st.Cur[b][w]
+			if enc>>b&1 == 0 {
+				x = ^x
+			}
+			m &= x
+		}
+		dst[w] = m
+	}
+	dst[bp.words-1] &= bp.tailMask
+}
+
+// lastChanges calls fn for every vertex that changed in the last Step,
+// passing its color before the change (read from the previous configuration,
+// which the step's buffer swap left in st.Next).
+func (bp *Bitplane) lastChanges(fn func(v int32, old color.Color)) {
+	for w := 0; w < bp.words; w++ {
+		dw := bp.changed[w]
+		for dw != 0 {
+			b := bits.TrailingZeros64(dw)
+			dw &= dw - 1
+			e := 0
+			for pl := 0; pl < bp.planes; pl++ {
+				e |= int(bp.st.Next[pl][w]>>uint(b)&1) << pl
+			}
+			fn(int32(w<<6+b), color.Color(e+1))
+		}
+	}
+}
+
+// shiftPlane gathers one plane through one neighbor port: a bit rotation by
+// the port's base shift, then the port's border patches.
+func shiftPlane(dst, src []uint64, port *grid.ShiftPort, nbits int, tailMask uint64) {
+	rotateBits(dst, src, nbits, port.Shift, tailMask)
+	for i, db := range port.FixDst {
+		sb := port.FixSrc[i]
+		bit := src[sb>>6] >> uint(sb&63) & 1
+		w, o := db>>6, uint(db&63)
+		dst[w] = dst[w]&^(1<<o) | bit<<o
+	}
+}
+
+// rotateBits writes dst bit i = src bit (i+s) mod nbits for i in [0, nbits),
+// with s in [0, nbits).  src must honor the plane invariant that bits ≥
+// nbits are zero; dst receives the same invariant.  dst and src must not
+// alias.
+func rotateBits(dst, src []uint64, nbits, s int, tailMask uint64) {
+	if s == 0 {
+		copy(dst, src)
+		return
+	}
+	words := len(src)
+	// Low part: dst bit i = src bit i+s for i < nbits-s (a logical right
+	// shift of the bit array; lanes past the end read the zero invariant).
+	off, sh := s>>6, uint(s&63)
+	if sh == 0 {
+		for w := 0; w < words; w++ {
+			var x uint64
+			if w+off < words {
+				x = src[w+off]
+			}
+			dst[w] = x
+		}
+	} else {
+		for w := 0; w < words; w++ {
+			var x uint64
+			if w+off < words {
+				x = src[w+off] >> sh
+				if w+off+1 < words {
+					x |= src[w+off+1] << (64 - sh)
+				}
+			}
+			dst[w] = x
+		}
+	}
+	// High part: dst bit i |= src bit i-(nbits-s) for i ≥ nbits-s (the
+	// wrapped head of the array, a logical left shift).  The two parts are
+	// disjoint because src bits ≥ nbits are zero.
+	t := nbits - s
+	off, sh = t>>6, uint(t&63)
+	if sh == 0 {
+		for w := words - 1; w >= off; w-- {
+			dst[w] |= src[w-off]
+		}
+	} else {
+		for w := words - 1; w >= off; w-- {
+			x := src[w-off] << sh
+			if w-off-1 >= 0 {
+				x |= src[w-off-1] >> (64 - sh)
+			}
+			dst[w] |= x
+		}
+	}
+	dst[words-1] &= tailMask
+}
+
+// downshiftFactor and downshiftRounds tune the bitplane→frontier handoff on
+// auto-tier sequential runs: after downshiftRounds consecutive rounds with
+// changed·downshiftFactor < n, the dirty frontier (whose per-round cost
+// scales with the change count, not n) is cheaper than the fixed word work
+// of the bitplane and the run switches steppers.
+const (
+	downshiftFactor = 32
+	downshiftRounds = 2
+)
+
+// runBitplane is RunContext's bitplane driver, entered with the eligibility
+// products (k, plan, kern) the caller derived when selecting the tier.
+// forced marks a run with an explicit Options.Kernel = KernelBitplane: it
+// supports observers and history by unpacking per round and never
+// downshifts to the frontier.
+func (e *Engine) runBitplane(ctx context.Context, st *runState, initial *color.Coloring, opt Options, maxRounds, workers int, forced bool, k int, plan *grid.ShiftPlan, kern rules.BitKernel) (*Result, error) {
+	if st.bp == nil {
+		st.bp = e.newBitplaneBuffers()
+	}
+	bp := st.bp
+	if err := bp.resetWith(initial, k, plan, kern); err != nil {
+		return nil, err
+	}
+	bp.DetectCycles(opt.DetectCycles)
+	d := e.topo.Dims()
+	res := &Result{MonotoneTarget: true, Workers: workers, Kernel: KernelBitplane}
+	trackTarget := opt.Target != color.None
+	if trackTarget {
+		res.FirstReached = make([]int, d.N())
+		for v := 0; v < d.N(); v++ {
+			if initial.At(v) == opt.Target {
+				res.FirstReached[v] = 0
+			} else {
+				res.FirstReached[v] = -1
+			}
+		}
+		bp.targetMask(bp.tgtPrev, opt.Target)
+		copy(bp.tgtEver, bp.tgtPrev)
+	}
+
+	lowChurn := 0
+	for round := 1; round <= maxRounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return finishAborted(res, bp.Config(), opt), err
+		}
+		changed := bp.stepStriped(st, workers)
+		res.Rounds = round
+		res.ChangesPerRound = append(res.ChangesPerRound, changed)
+
+		if trackTarget {
+			bp.targetMask(bp.tgtCur, opt.Target)
+			for w := 0; w < bp.words; w++ {
+				if bp.tgtPrev[w]&^bp.tgtCur[w] != 0 {
+					res.MonotoneTarget = false
+				}
+				newly := bp.tgtCur[w] &^ bp.tgtEver[w]
+				for newly != 0 {
+					b := bits.TrailingZeros64(newly)
+					newly &= newly - 1
+					res.FirstReached[w<<6+b] = round
+				}
+				bp.tgtEver[w] |= bp.tgtCur[w]
+			}
+			bp.tgtPrev, bp.tgtCur = bp.tgtCur, bp.tgtPrev
+		}
+		if opt.RecordHistory {
+			res.History = append(res.History, bp.Config().Clone())
+		}
+		for _, o := range opt.Observers {
+			o.OnRound(round, bp.Config())
+		}
+
+		if changed == 0 {
+			res.FixedPoint = true
+			break
+		}
+		if opt.StopWhenMonochromatic && bp.Monochromatic() {
+			break
+		}
+		if opt.DetectCycles && bp.Cycle() {
+			res.Cycle = true
+			break
+		}
+		// Downshift: hand the run to the dirty-frontier stepper once the
+		// change rate stays low (sequential auto-tier runs only — the
+		// frontier is single-goroutine, and a forced tier is a contract).
+		if !forced && workers == 1 && round < maxRounds {
+			if changed*downshiftFactor < bp.nbits {
+				lowChurn++
+			} else {
+				lowChurn = 0
+			}
+			if lowChurn >= downshiftRounds {
+				st.frontier(e).seedFromBitplane(bp)
+				res.Downshift = round + 1
+				return e.frontierLoop(ctx, st, res, opt, round+1, maxRounds)
+			}
+		}
+	}
+
+	finish(res, bp.Config(), opt)
+	for _, o := range opt.Observers {
+		o.OnFinish(res)
+	}
+	return res, nil
+}

@@ -4,15 +4,23 @@
 // The engine follows the paper's execution model (Section III.D): the system
 // is synchronous, every vertex reads its neighbors' colors at time t and all
 // vertices apply the rule simultaneously to produce the configuration at
-// time t+1.  Three steppers produce bit-identical results:
+// time t+1.  Four stepping tiers produce bit-identical results:
 //
 //   - the sequential full sweep, the oracle every other path is tested
 //     against;
 //   - the striped parallel sweep (double-buffered, one contiguous stripe per
-//     worker);
+//     worker, executed on a persistent process-wide worker pool);
 //   - the dirty-frontier stepper (see Frontier), which re-evaluates only the
-//     vertices whose neighborhood changed in the previous round and is the
-//     default for sequential runs.
+//     vertices whose neighborhood changed in the previous round — the
+//     low-churn specialist;
+//   - the bit-sliced bitplane stepper (see Bitplane), which packs the
+//     configuration into uint64 bit planes and recolors 64 vertices per
+//     word operation — the high-churn specialist, available when the rule,
+//     topology and palette qualify.
+//
+// Options.Kernel forces a tier; the default automatic selection (and the
+// mid-run bitplane→frontier downshift) is documented on the Kernel
+// constants.
 //
 // The engine supports fixed-point and period-2-cycle detection,
 // monotonicity tracking with respect to a target color, and per-vertex
@@ -22,6 +30,7 @@ package sim
 import (
 	"context"
 	"fmt"
+	"reflect"
 	"runtime"
 	"sync"
 
@@ -29,6 +38,49 @@ import (
 	"repro/internal/grid"
 	"repro/internal/rules"
 )
+
+// Kernel identifies a stepping tier of the engine.
+type Kernel int
+
+const (
+	// KernelAuto lets the engine pick: the bitplane kernel when the rule,
+	// topology and coloring qualify (and the run needs no per-round scalar
+	// views), the striped parallel sweep when Parallel is set, the
+	// sequential sweep when FullSweep is set, and the dirty frontier
+	// otherwise.  Auto-selected sequential bitplane runs may additionally
+	// downshift to the frontier mid-run once the change rate gets low
+	// (recorded on Result.Downshift).
+	KernelAuto Kernel = iota
+	// KernelBitplane forces the word-parallel bit-sliced stepper.  Runs
+	// error (wrapping ErrBitplaneIneligible) when the combination does not
+	// qualify.
+	KernelBitplane
+	// KernelFrontier forces the sequential dirty-frontier stepper.
+	KernelFrontier
+	// KernelSweep forces the sequential full-sweep oracle stepper.
+	KernelSweep
+	// KernelParallel forces the striped parallel sweep (Workers goroutines,
+	// GOMAXPROCS when unset).
+	KernelParallel
+)
+
+// String returns the tier name used in logs and experiment tables.
+func (k Kernel) String() string {
+	switch k {
+	case KernelAuto:
+		return "auto"
+	case KernelBitplane:
+		return "bitplane"
+	case KernelFrontier:
+		return "frontier"
+	case KernelSweep:
+		return "sweep"
+	case KernelParallel:
+		return "parallel"
+	default:
+		return fmt.Sprintf("Kernel(%d)", int(k))
+	}
+}
 
 // Options controls a simulation run.
 type Options struct {
@@ -51,6 +103,12 @@ type Options struct {
 	// runs; opting out exists for callers that hold many runs open at once
 	// and would rather not grow the pool.
 	FreshBuffers bool
+	// Kernel selects the stepping tier explicitly; the KernelAuto zero value
+	// keeps the automatic selection described on the constants.  A forced
+	// tier overrides Parallel and FullSweep (KernelParallel still honors
+	// Workers).  All tiers are bit-identical; the knob exists for
+	// differential tests, benchmarks and callers that know their workload.
+	Kernel Kernel
 	// Target, when non-zero, is the color whose spread is tracked: the
 	// engine records per-vertex first-reach times and whether the
 	// target-colored set evolved monotonically.
@@ -115,6 +173,14 @@ type Result struct {
 	// Workers is the effective number of stepping goroutines used: 1 on
 	// the sequential path, Options.EffectiveWorkers on the parallel path.
 	Workers int
+	// Kernel is the stepping tier that executed the run (never KernelAuto).
+	// A hybrid auto run that started on the bitplane kernel and downshifted
+	// reports KernelBitplane with the switch round in Downshift.
+	Kernel Kernel
+	// Downshift is the round at which an auto-tier bitplane run handed the
+	// remaining rounds to the dirty-frontier stepper, or 0 when it never
+	// did.  The handoff is exact: the result is bit-identical either way.
+	Downshift int
 	// FixedPoint reports that the last round changed no vertex.
 	FixedPoint bool
 	// Cycle reports that a period-2 oscillation was detected.
@@ -187,6 +253,10 @@ type Engine struct {
 	// not implement rules.CountRule.  Detected once here so the inner loops
 	// pay no per-vertex type assertions.
 	countRule rules.CountRule
+	// bitRule is the rule's word-parallel form, nil when the rule does not
+	// implement rules.BitRule; with a shift-regular topology and a ≤4-color
+	// palette it enables the bitplane tier.
+	bitRule rules.BitRule
 	// csr is the topology's shared CSR adjacency index: the four neighbor
 	// ids of vertex v occupy csr.Neighbors[4v:4v+4], and csr.Rev lists who
 	// must be re-evaluated when v changes.  Built once per topology and
@@ -201,7 +271,39 @@ type Engine struct {
 func NewEngine(topo grid.Topology, rule rules.Rule) *Engine {
 	e := &Engine{topo: topo, rule: rule, csr: grid.CSROf(topo)}
 	e.countRule, _ = rule.(rules.CountRule)
+	e.bitRule, _ = rule.(rules.BitRule)
 	return e
+}
+
+// engineKey identifies a cached engine by its topology and rule values.
+type engineKey struct {
+	topo grid.Topology
+	rule rules.Rule
+}
+
+// engineCache memoizes engines per (topology, rule) value, mirroring
+// grid.CSROf: engines are immutable and safe for concurrent use, so sharing
+// one lets repeated runs over the same system — the analysis sweeps build
+// thousands of them — reuse the pooled run buffers instead of paying
+// construction and warm-up allocations per point.
+var engineCache sync.Map // engineKey -> *Engine
+
+// EngineOf returns a process-cached engine for the topology and rule,
+// building it on first use.  Values whose dynamic types are not comparable
+// cannot be cache keys and get a fresh engine per call.  Cached engines are
+// retained for the life of the process; callers that must bound memory over
+// unbounded topology streams should use NewEngine directly.
+func EngineOf(topo grid.Topology, rule rules.Rule) *Engine {
+	if !reflect.TypeOf(topo).Comparable() || !reflect.TypeOf(rule).Comparable() {
+		return NewEngine(topo, rule)
+	}
+	key := engineKey{topo: topo, rule: rule}
+	if cached, ok := engineCache.Load(key); ok {
+		return cached.(*Engine)
+	}
+	e := NewEngine(topo, rule)
+	cached, _ := engineCache.LoadOrStore(key, e)
+	return cached.(*Engine)
 }
 
 // Topology returns the engine's topology.
@@ -210,13 +312,36 @@ func (e *Engine) Topology() grid.Topology { return e.topo }
 // Rule returns the engine's rule.
 func (e *Engine) Rule() rules.Rule { return e.rule }
 
-// runState is the recycled working set of one run: the frontier stepper
-// (whose configuration doubles as the sweep path's "cur" buffer), the sweep
-// path's second buffer and, lazily, the period-2 comparison buffer.
+// runState is the recycled working set of one run: the sweep path's double
+// buffers, the parallel stripe tasks with their WaitGroup and, lazily, the
+// period-2 comparison buffer and the tier steppers (frontier, bitplane) —
+// lazy because a run uses exactly one tier and the others' O(n) bookkeeping
+// would be allocated for nothing, which FreshBuffers callers would pay on
+// every run.
 type runState struct {
-	f        *Frontier
-	next     *color.Coloring
-	prevPrev *color.Coloring
+	f         *Frontier
+	cur, next *color.Coloring
+	prevPrev  *color.Coloring
+	bp        *Bitplane
+	wg        sync.WaitGroup
+	stripeBuf []stripeTask
+}
+
+// frontier returns the state's frontier stepper, creating it on first use.
+func (st *runState) frontier(e *Engine) *Frontier {
+	if st.f == nil {
+		st.f = newFrontier(e)
+	}
+	return st.f
+}
+
+// stripes returns the pre-allocated task buffer grown to n entries; after
+// the first growth, parallel steps reuse it allocation-free.
+func (st *runState) stripes(n int) []stripeTask {
+	if cap(st.stripeBuf) < n {
+		st.stripeBuf = make([]stripeTask, n)
+	}
+	return st.stripeBuf[:n]
 }
 
 func (e *Engine) getState(fresh bool) *runState {
@@ -227,7 +352,7 @@ func (e *Engine) getState(fresh bool) *runState {
 	}
 	d := e.topo.Dims()
 	return &runState{
-		f:    newFrontier(e),
+		cur:  color.NewColoring(d, color.None),
 		next: color.NewColoring(d, color.None),
 	}
 }
@@ -287,9 +412,14 @@ func (e *Engine) Step(cur, next *color.Coloring) int {
 
 // Run evolves the initial coloring under the engine's rule until a stop
 // condition holds.  The initial coloring is not modified.  It is RunContext
-// with a background context (which can never abort the run).
+// with a background context (which can never abort the run); it panics when
+// a forced Options.Kernel does not qualify, the only other error RunContext
+// can produce.
 func (e *Engine) Run(initial *color.Coloring, opt Options) *Result {
-	res, _ := e.RunContext(context.Background(), initial, opt)
+	res, err := e.RunContext(context.Background(), initial, opt)
+	if res == nil && err != nil {
+		panic(err)
+	}
 	return res
 }
 
@@ -299,8 +429,10 @@ func (e *Engine) Run(initial *color.Coloring, opt Options) *Result {
 // Observers do not receive OnFinish for an aborted run.
 //
 // On a nil error the returned Result is complete, exactly as from Run.
-// Sequential runs use the dirty-frontier stepper unless Options.FullSweep
-// is set; parallel runs use the striped sweep.  All paths are bit-identical.
+// The stepping tier follows Options.Kernel (see the Kernel constants for
+// the automatic selection).  All tiers are bit-identical; a forced
+// KernelBitplane that does not qualify returns a nil Result and an error
+// wrapping ErrBitplaneIneligible.
 func (e *Engine) RunContext(ctx context.Context, initial *color.Coloring, opt Options) (*Result, error) {
 	d := e.topo.Dims()
 	if initial.Dims() != d {
@@ -315,18 +447,56 @@ func (e *Engine) RunContext(ctx context.Context, initial *color.Coloring, opt Op
 	st := e.getState(opt.FreshBuffers)
 	defer e.putState(st, opt.FreshBuffers)
 
+	switch opt.Kernel {
+	case KernelBitplane:
+		k, plan, kern, err := e.bitplaneCheck(initial)
+		if err != nil {
+			return nil, err
+		}
+		return e.runBitplane(ctx, st, initial, opt, maxRounds, workers, true, k, plan, kern)
+	case KernelFrontier:
+		return e.runFrontier(ctx, st, initial, opt, maxRounds)
+	case KernelSweep:
+		return e.runSweep(ctx, st, initial, opt, maxRounds, 1, KernelSweep)
+	case KernelParallel:
+		if workers <= 1 {
+			par := opt
+			par.Parallel = true
+			workers = par.EffectiveWorkers(d.N())
+		}
+		return e.runSweep(ctx, st, initial, opt, maxRounds, workers, KernelParallel)
+	case KernelAuto:
+	default:
+		return nil, fmt.Errorf("sim: unknown kernel %v", opt.Kernel)
+	}
+
+	// Automatic selection.  The bitplane tier wins whenever it applies and
+	// the run does not need a scalar view of every round (observers and
+	// history would force an unpack per round, erasing its advantage);
+	// FullSweep keeps its contract as the oracle stepper.
+	if !opt.FullSweep && !opt.RecordHistory && len(opt.Observers) == 0 {
+		if k, plan, kern, err := e.bitplaneCheck(initial); err == nil {
+			return e.runBitplane(ctx, st, initial, opt, maxRounds, workers, false, k, plan, kern)
+		}
+	}
 	if workers == 1 && !opt.FullSweep {
 		return e.runFrontier(ctx, st, initial, opt, maxRounds)
 	}
-	return e.runSweep(ctx, st, initial, opt, maxRounds, workers)
+	kernel := KernelSweep
+	if workers > 1 {
+		kernel = KernelParallel
+	}
+	return e.runSweep(ctx, st, initial, opt, maxRounds, workers, kernel)
 }
 
 // runSweep is the full-sweep driver: the original double-buffered loop over
 // all n vertices every round, sequentially or striped across workers.  It is
-// the oracle the frontier path is differentially tested against.
-func (e *Engine) runSweep(ctx context.Context, st *runState, initial *color.Coloring, opt Options, maxRounds, workers int) (*Result, error) {
+// the oracle the frontier path is differentially tested against.  kernel is
+// the tier label to record: a forced KernelParallel reports as parallel even
+// when the effective worker count degenerates to one.
+func (e *Engine) runSweep(ctx context.Context, st *runState, initial *color.Coloring, opt Options, maxRounds, workers int, kernel Kernel) (*Result, error) {
 	d := e.topo.Dims()
-	cur := st.f.cfg
+	cur := st.cur
 	cur.CopyFrom(initial)
 	next := st.next
 	var prevPrev *color.Coloring
@@ -338,7 +508,7 @@ func (e *Engine) runSweep(ctx context.Context, st *runState, initial *color.Colo
 		prevPrev.CopyFrom(initial)
 	}
 
-	res := &Result{MonotoneTarget: true, Workers: workers}
+	res := &Result{MonotoneTarget: true, Workers: workers, Kernel: kernel}
 	if opt.Target != color.None {
 		res.FirstReached = make([]int, d.N())
 		for v := 0; v < d.N(); v++ {
@@ -356,7 +526,7 @@ func (e *Engine) runSweep(ctx context.Context, st *runState, initial *color.Colo
 		}
 		var changed int
 		if workers > 1 {
-			changed = e.stepParallel(cur.Cells(), next.Cells(), workers)
+			changed = e.stepParallel(cur.Cells(), next.Cells(), workers, st)
 		} else {
 			changed = e.stepRange(cur.Cells(), next.Cells(), 0, d.N())
 		}
@@ -426,9 +596,10 @@ func finishAborted(res *Result, final *color.Coloring, opt Options) *Result {
 	return res
 }
 
-// Run is a convenience wrapper constructing a throwaway engine.  Prefer
-// building an Engine once when running many simulations over the same
-// topology and rule.
+// Run is a convenience wrapper over a process-cached engine (EngineOf), so
+// repeated calls for the same topology and rule — the shape of the analysis
+// sweeps — share one engine and its pooled run buffers instead of paying
+// construction and warm-up allocations per call.
 func Run(topo grid.Topology, rule rules.Rule, initial *color.Coloring, opt Options) *Result {
-	return NewEngine(topo, rule).Run(initial, opt)
+	return EngineOf(topo, rule).Run(initial, opt)
 }

@@ -1,0 +1,63 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/color"
+	"repro/internal/grid"
+	"repro/internal/rules"
+)
+
+// TestEngineOfCaches pins the engine cache behind sim.Run: equal topology
+// and rule values share one engine (and therefore one pooled-buffer pool),
+// distinct values do not, and non-comparable rules fall back to fresh
+// engines instead of panicking in the map.
+func TestEngineOfCaches(t *testing.T) {
+	a := EngineOf(grid.MustNew(grid.KindToroidalMesh, 6, 6), rules.SMP{})
+	b := EngineOf(grid.MustNew(grid.KindToroidalMesh, 6, 6), rules.SMP{})
+	if a != b {
+		t.Fatal("equal (topology, rule) values must share one engine")
+	}
+	c := EngineOf(grid.MustNew(grid.KindToroidalMesh, 6, 7), rules.SMP{})
+	if c == a {
+		t.Fatal("different dimensions must not share an engine")
+	}
+	d := EngineOf(grid.MustNew(grid.KindToroidalMesh, 6, 6), rules.SimpleMajorityPB{Black: 2})
+	if d == a {
+		t.Fatal("different rules must not share an engine")
+	}
+
+	// A non-comparable rule (func field) must not panic the cache.
+	nc := funcRule{next: func(cur color.Color, ns []color.Color) color.Color { return cur }}
+	e1 := EngineOf(grid.MustNew(grid.KindToroidalMesh, 6, 6), nc)
+	e2 := EngineOf(grid.MustNew(grid.KindToroidalMesh, 6, 6), nc)
+	if e1 == e2 {
+		t.Fatal("non-comparable rules must get fresh engines")
+	}
+}
+
+// funcRule is a deliberately non-comparable Rule for the cache test.
+type funcRule struct {
+	next func(color.Color, []color.Color) color.Color
+}
+
+func (funcRule) Name() string { return "func-rule" }
+func (f funcRule) Next(cur color.Color, ns []color.Color) color.Color {
+	return f.next(cur, ns)
+}
+
+// TestRunSharesCachedEngine: the package-level Run helper must reuse the
+// cached engine, which is what lets the analysis sweeps stop paying engine
+// construction per point.
+func TestRunSharesCachedEngine(t *testing.T) {
+	topo := grid.MustNew(grid.KindToroidalMesh, 5, 5)
+	initial := randomColoring(1, 5, 5, 3)
+	r1 := Run(topo, rules.SMP{}, initial, Options{MaxRounds: 5})
+	r2 := Run(topo, rules.SMP{}, initial, Options{MaxRounds: 5})
+	if r1.Rounds != r2.Rounds || !r1.Final.Equal(r2.Final) {
+		t.Fatal("cached-engine runs must be reproducible")
+	}
+	if EngineOf(topo, rules.SMP{}) != EngineOf(topo, rules.SMP{}) {
+		t.Fatal("Run must go through the engine cache")
+	}
+}

@@ -259,16 +259,62 @@ func (f *Frontier) Step() int {
 	return len(f.chV)
 }
 
+// seedFromBitplane rewinds the frontier onto a bitplane stepper's mid-run
+// state: configuration, change-journal bookkeeping (period-2 trace, previous
+// change count, histogram) and the dirty queue for the next round.  It is
+// the handoff behind the auto-tier downshift, and it is exact: the hybrid
+// run produces the same Result, round for round, as either pure stepper.
+func (f *Frontier) seedFromBitplane(bp *Bitplane) {
+	bp.Unpack(f.cfg)
+	f.round = bp.round
+	f.prevChanged = bp.prevChanged
+	f.cycle = bp.cycle
+	for i := range f.epoch {
+		f.epoch[i] = 0
+	}
+	for i := range f.lastRound {
+		f.lastRound[i] = -1
+	}
+	f.chV, f.chOld, f.chNew = f.chV[:0], f.chOld[:0], f.chNew[:0]
+	for i := range f.hist {
+		f.hist[i] = 0
+	}
+	f.nonzero = 0
+	for _, c := range f.cfg.Cells() {
+		f.histInc(c)
+	}
+	// Schedule round bp.round+1 exactly as Step would have: the vertices
+	// that changed in the bitplane's last round and everyone who reads them,
+	// while seeding the period-2 trace with those vertices' previous colors.
+	r := int32(bp.round)
+	mark := r + 1
+	f.queue = f.queue[:0]
+	rev, revOff := f.e.csr.Rev, f.e.csr.RevOff
+	bp.lastChanges(func(v int32, old color.Color) {
+		f.lastRound[v] = r
+		f.lastOld[v] = old
+		if f.epoch[v] != mark {
+			f.epoch[v] = mark
+			f.queue = append(f.queue, v)
+		}
+		for _, u := range rev[revOff[v]:revOff[v+1]] {
+			if f.epoch[u] != mark {
+				f.epoch[u] = mark
+				f.queue = append(f.queue, u)
+			}
+		}
+	})
+}
+
 // runFrontier is RunContext's sequential driver over a pooled frontier.  It
 // mirrors runSweep's control flow exactly — same stop conditions checked in
 // the same order — with all per-round bookkeeping done on the change journal
 // instead of the full lattice.
 func (e *Engine) runFrontier(ctx context.Context, st *runState, initial *color.Coloring, opt Options, maxRounds int) (*Result, error) {
 	d := e.topo.Dims()
-	f := st.f
-	f.Reset(initial)
+	st.frontier(e).Reset(initial)
 
-	res := &Result{MonotoneTarget: true, Workers: 1}
+	res := &Result{MonotoneTarget: true, Workers: 1, Kernel: KernelFrontier}
 	if opt.Target != color.None {
 		res.FirstReached = make([]int, d.N())
 		for v := 0; v < d.N(); v++ {
@@ -279,8 +325,16 @@ func (e *Engine) runFrontier(ctx context.Context, st *runState, initial *color.C
 			}
 		}
 	}
+	return e.frontierLoop(ctx, st, res, opt, 1, maxRounds)
+}
 
-	for round := 1; round <= maxRounds; round++ {
+// frontierLoop drives rounds [fromRound, maxRounds] on the state's frontier,
+// accumulating into a Result whose pre-round fields (FirstReached, earlier
+// ChangesPerRound entries) the caller has initialized.  fromRound > 1 is the
+// hybrid continuation after a bitplane downshift.
+func (e *Engine) frontierLoop(ctx context.Context, st *runState, res *Result, opt Options, fromRound, maxRounds int) (*Result, error) {
+	f := st.f
+	for round := fromRound; round <= maxRounds; round++ {
 		if err := ctx.Err(); err != nil {
 			return finishAborted(res, f.cfg, opt), err
 		}

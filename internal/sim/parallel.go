@@ -2,7 +2,6 @@ package sim
 
 import (
 	"fmt"
-	"sync"
 
 	"repro/internal/color"
 )
@@ -19,15 +18,24 @@ func (e *Engine) StepParallel(cur, next *color.Coloring, workers int) int {
 	if workers <= 0 {
 		workers = 1
 	}
-	return e.stepParallel(cur.Cells(), next.Cells(), workers)
+	st := e.getState(false)
+	defer e.putState(st, false)
+	return e.stepParallel(cur.Cells(), next.Cells(), workers, st)
 }
 
 // stepParallel applies one synchronous round using the striped parallel
 // stepper: the vertex range is cut into contiguous stripes, one per worker,
-// each worker reads the shared immutable cur slice and writes only its own
-// stripe of next.  Because reads and writes never overlap, the result is
+// each stripe reads the shared immutable cur slice and writes only its own
+// part of next.  Because reads and writes never overlap, the result is
 // bit-identical to the sequential stepper.
-func (e *Engine) stepParallel(cur, next []color.Color, workers int) int {
+//
+// Stripes run on the process-wide persistent worker pool (see pool.go)
+// through the run state's pre-allocated task buffer, so steady-state
+// parallel stepping performs zero heap allocations (pinned by
+// TestParallelStepDoesNotAllocate).  OS-level parallelism is naturally
+// capped at the pool size, GOMAXPROCS; requesting more workers than that
+// still computes every stripe, just not all at once.
+func (e *Engine) stepParallel(cur, next []color.Color, workers int, st *runState) int {
 	n := len(cur)
 	if workers > n {
 		workers = n
@@ -35,28 +43,12 @@ func (e *Engine) stepParallel(cur, next []color.Color, workers int) int {
 	if workers <= 1 {
 		return e.stepRange(cur, next, 0, n)
 	}
-	changes := make([]int, workers)
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			changes[w] = e.stepRange(cur, next, lo, hi)
-		}(w, lo, hi)
-	}
-	wg.Wait()
+	done := st.stripeAcross(n, workers, func(t *stripeTask, lo, hi int) {
+		*t = stripeTask{run: runSweepTask, wg: &st.wg, e: e, cur: cur, next: next, lo: lo, hi: hi}
+	})
 	total := 0
-	for _, c := range changes {
-		total += c
+	for i := range done {
+		total += done[i].changed
 	}
 	return total
 }

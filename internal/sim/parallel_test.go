@@ -27,7 +27,7 @@ func TestParallelStepMatchesSequential(t *testing.T) {
 		parNext := color.NewColoring(topo.Dims(), color.None)
 		seqChanged := eng.stepRange(cur.Cells(), seqNext.Cells(), 0, cur.N())
 		for _, workers := range []int{2, 3, 4, 8, 64, 1000} {
-			parChanged := eng.stepParallel(cur.Cells(), parNext.Cells(), workers)
+			parChanged := eng.StepParallel(cur, parNext, workers)
 			if parChanged != seqChanged {
 				t.Fatalf("%v workers=%d: changed %d vs %d", kind, workers, parChanged, seqChanged)
 			}
@@ -79,11 +79,34 @@ func TestParallelWithMoreWorkersThanVertices(t *testing.T) {
 	cur := randomColoring(1, 3, 3, 3)
 	next := color.NewColoring(topo.Dims(), color.None)
 	// Must not panic or deadlock.
-	eng.stepParallel(cur.Cells(), next.Cells(), 64)
+	eng.StepParallel(cur, next, 64)
 	seqNext := color.NewColoring(topo.Dims(), color.None)
 	eng.stepRange(cur.Cells(), seqNext.Cells(), 0, cur.N())
 	if !next.Equal(seqNext) {
 		t.Error("oversubscribed parallel step differs from sequential")
+	}
+}
+
+// TestParallelStepDoesNotAllocate pins the persistent-pool rewrite: after
+// the first step has grown the pooled stripe buffer and started the shared
+// workers, steady-state parallel stepping must perform zero heap
+// allocations — no per-step goroutines, closures or result slices.
+func TestParallelStepDoesNotAllocate(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector allocates on channel/WaitGroup operations")
+	}
+	topo := grid.MustNew(grid.KindToroidalMesh, 32, 32)
+	eng := NewEngine(topo, rules.SMP{})
+	cur := randomColoring(11, 32, 32, 5)
+	next := color.NewColoring(topo.Dims(), color.None)
+	// Warm up: start the pool, grow the stripe buffer, fill the state pool.
+	eng.StepParallel(cur, next, 4)
+	allocs := testing.AllocsPerRun(100, func() {
+		eng.StepParallel(cur, next, 4)
+		cur, next = next, cur
+	})
+	if allocs != 0 {
+		t.Fatalf("parallel step allocates %.1f objects per op, want 0", allocs)
 	}
 }
 

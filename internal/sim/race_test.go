@@ -1,0 +1,8 @@
+//go:build race
+
+package sim
+
+// raceEnabled reports that the race detector is instrumenting this build;
+// allocation-count pins on synchronizing code are skipped because the
+// detector itself allocates on channel and WaitGroup operations.
+const raceEnabled = true
