@@ -314,8 +314,168 @@ func BenchmarkScaleFreeSpread(b *testing.B) {
 	}
 }
 
-// BenchmarkTimeVaryingRun measures the time-varying engine (experiment E14's
-// inner loop).
+// legacyGraphSweep is one round of the deleted pre-engine graphs.Run loop —
+// a full sweep of every vertex, gathering each neighborhood into a scratch
+// slice — preserved here as the baseline the unified engine is gated
+// against.
+func legacyGraphSweep(g *graphs.Graph, rule rules.Rule, cur, next *graphs.Coloring, scratch []color.Color) int {
+	changed := 0
+	for v := 0; v < g.N(); v++ {
+		scratch = scratch[:0]
+		for _, u := range g.Neighbors(v) {
+			scratch = append(scratch, cur.At(u))
+		}
+		nc := rule.Next(cur.At(v), scratch)
+		next.Set(v, nc)
+		if nc != cur.At(v) {
+			changed++
+		}
+	}
+	return changed
+}
+
+// blinkerBA10k builds the 10k-vertex Barabási–Albert benchmark substrate
+// with an embedded 4-cycle Prefer-Black blinker: two opposite cycle
+// vertices black, two white, trading places every round forever while the
+// rest of the graph stays quiet.  The gadget (pinned by
+// TestBlinkerOscillatesForever on the small variant) gives the
+// near-convergence benchmarks a deterministic workload whose dirty
+// frontier stays a handful of vertices wide — the regime the frontier tier
+// exists for, and the regime where the legacy loop's full sweeps waste the
+// most work.
+func blinkerBA10k(b *testing.B) (*graphs.Graph, *graphs.Coloring) {
+	b.Helper()
+	g, err := graphs.NewBarabasiAlbert(10000, 2, rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var gadget [4]int
+	count := 0
+	used := map[int]bool{}
+	for v := g.N() - 1; v >= 0 && count < 4; v-- {
+		if g.Degree(v) != 2 || used[v] {
+			continue
+		}
+		clash := false
+		for _, u := range g.Neighbors(v) {
+			if used[u] {
+				clash = true
+				break
+			}
+		}
+		if clash {
+			continue
+		}
+		gadget[count] = v
+		used[v] = true
+		for _, u := range g.Neighbors(v) {
+			used[u] = true
+		}
+		count++
+	}
+	if count < 4 {
+		b.Fatal("could not embed the blinker gadget; change the generator seed")
+	}
+	u, a, v, w := gadget[0], gadget[1], gadget[2], gadget[3]
+	g.AddEdge(u, a)
+	g.AddEdge(a, v)
+	g.AddEdge(v, w)
+	g.AddEdge(w, u)
+	c := graphs.NewColoring(g.N(), 1)
+	c.Set(a, 2)
+	c.Set(w, 2)
+	return g, c
+}
+
+// BenchmarkEngineStepGraphNearConvergence is the general-graph analogue of
+// BenchmarkEngineStepNearConvergence, and the acceptance gate of the
+// unified-engine port: on a 10k-vertex Barabási–Albert graph whose
+// dynamics have localized to the 4-vertex blinker, the engine's frontier
+// step must beat one round of the legacy full-sweep loop by at least 10x
+// (CI gates the within-run ratio; in practice it is orders of magnitude),
+// at 0 allocs/op steady state (pinned by TestGraphFrontierStepDoesNotAllocate
+// and watched by -benchmem here).
+func BenchmarkEngineStepGraphNearConvergence(b *testing.B) {
+	rule := rules.SimpleMajorityPB{Black: 2}
+
+	b.Run("legacy-sweep-ba10k", func(b *testing.B) {
+		g, initial := blinkerBA10k(b)
+		cur, next := initial.Clone(), initial.Clone()
+		scratch := make([]color.Color, 0, g.MaxDegree())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if legacyGraphSweep(g, rule, cur, next, scratch) == 0 {
+				b.Fatal("blinker died")
+			}
+			cur, next = next, cur
+		}
+	})
+	b.Run("frontier-ba10k", func(b *testing.B) {
+		g, initial := blinkerBA10k(b)
+		f := g.EngineFor(rule).NewFrontier(initial)
+		f.Step()
+		f.Step()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if f.Step() == 0 {
+				b.Fatal("blinker died")
+			}
+		}
+	})
+}
+
+// BenchmarkEngineRunGraphBA10k measures whole runs on the 10k-vertex
+// Barabási–Albert graph — an irreversible threshold cascade from 20 hub
+// seeds to its fixed point — through the unified engine and through the
+// legacy full-sweep loop it replaced.
+func BenchmarkEngineRunGraphBA10k(b *testing.B) {
+	build := func(b *testing.B) (*graphs.Graph, *graphs.Coloring) {
+		b.Helper()
+		g, err := graphs.NewBarabasiAlbert(10000, 2, rng.New(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		return g, graphs.SeedTopByDegree(g, 20, 1, 2)
+	}
+	rule := rules.Threshold{Target: 1, Theta: 2}
+
+	b.Run("engine", func(b *testing.B) {
+		g, seed := build(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res := graphs.Run(g, rule, seed, 1, 0)
+			if !res.FixedPoint {
+				b.Fatal("cascade did not freeze")
+			}
+		}
+	})
+	b.Run("legacy", func(b *testing.B) {
+		g, seed := build(b)
+		scratch := make([]color.Color, 0, g.MaxDegree())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cur, next := seed.Clone(), seed.Clone()
+			rounds := 0
+			for round := 1; round <= 4*g.N()+16; round++ {
+				rounds = round
+				if legacyGraphSweep(g, rule, cur, next, scratch) == 0 {
+					break
+				}
+				cur, next = next, cur
+			}
+			if rounds >= 4*g.N()+16 {
+				b.Fatal("cascade did not freeze")
+			}
+		}
+	})
+}
+
+// BenchmarkTimeVaryingRun measures the engine's time-varying run mode
+// (experiment E14's inner loop).
 func BenchmarkTimeVaryingRun(b *testing.B) {
 	cons, err := dynamo.MeshMinimum(9, 9, 1, color.MustPalette(5))
 	if err != nil {
@@ -323,6 +483,10 @@ func BenchmarkTimeVaryingRun(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		tvg.Run(cons.Topology, tvg.Bernoulli{P: 0.95, Seed: uint64(i)}, rules.SMP{}, cons.Coloring, 2000)
+		sim.Run(cons.Topology, rules.SMP{}, cons.Coloring, sim.Options{
+			TimeVarying:           tvg.Bernoulli{P: 0.95, Seed: uint64(i)},
+			MaxRounds:             2000,
+			StopWhenMonochromatic: true,
+		})
 	}
 }

@@ -1,5 +1,6 @@
-// Command dynamosim runs a single simulation on a colored torus and prints
-// the outcome.  It is a thin CLI over the public repro/dynmon package.
+// Command dynamosim runs a single simulation on a colored substrate — one
+// of the paper's tori or a general graph — and prints the outcome.  It is a
+// thin CLI over the public repro/dynmon package.
 //
 // Examples:
 //
@@ -8,6 +9,18 @@
 //	dynamosim -topology mesh -rows 12 -cols 12 -colors 4 -config random -seed 7
 //	dynamosim -topology mesh -rows 6 -cols 6 -colors 2 -config cross -rule pb
 //	dynamosim -topology mesh -rows 16 -cols 16 -config minimum -animate -timeout 5s
+//
+// General-graph runs replace the topology with a generated graph (the rule
+// defaults to the degree-aware generalized-smp) and seed by hubs, at
+// random, or with the greedy target-set baseline:
+//
+//	dynamosim -graph ba -graph-n 1000 -graph-m 2 -colors 2 -config hubs:16
+//	dynamosim -graph ws -graph-n 500 -graph-k 6 -graph-beta 0.1 -colors 2 -config random:25 -seed 3
+//	dynamosim -graph ba -graph-n 200 -graph-m 2 -colors 2 -rule threshold -config greedy:8
+//
+// Time-varying runs mask link availability per round on any substrate:
+//
+//	dynamosim -topology mesh -rows 9 -cols 9 -config minimum -availability 0.9 -max-rounds 3000
 package main
 
 import (
@@ -25,30 +38,72 @@ import (
 
 func main() {
 	var (
-		topology = flag.String("topology", "mesh", "torus topology: "+strings.Join(dynmon.TopologyNames(), ", "))
-		rows     = flag.Int("rows", 9, "number of rows (m)")
-		cols     = flag.Int("cols", 9, "number of columns (n)")
-		colors   = flag.Int("colors", 5, "palette size |C|")
-		config   = flag.String("config", "minimum", "initial configuration: minimum, cross, comb, random, blocked, frozen")
-		ruleName = flag.String("rule", "smp", "recoloring rule: "+strings.Join(dynmon.RuleNames(), ", "))
-		target   = flag.Int("target", 1, "target color k")
-		seed     = flag.Uint64("seed", 1, "random seed for the random configuration")
-		render   = flag.Bool("render", false, "render the initial and final colorings")
-		animate  = flag.Bool("animate", false, "render the configuration after every round")
-		timing   = flag.Bool("timing", false, "print the per-vertex recoloring-time matrix (Figures 5/6 format)")
-		timeout  = flag.Duration("timeout", 0, "abort the simulation after this duration (0 = no limit)")
+		topology  = flag.String("topology", "mesh", "torus topology: "+strings.Join(dynmon.TopologyNames(), ", "))
+		rows      = flag.Int("rows", 9, "number of rows (m)")
+		cols      = flag.Int("cols", 9, "number of columns (n)")
+		graphKind = flag.String("graph", "", "general-graph substrate instead of a torus: ba (Barabási–Albert), ws (Watts–Strogatz), er (Erdős–Rényi)")
+		graphN    = flag.Int("graph-n", 400, "graph vertex count")
+		graphM    = flag.Int("graph-m", 2, "Barabási–Albert attachments per vertex")
+		graphK    = flag.Int("graph-k", 4, "Watts–Strogatz ring degree (even)")
+		graphBeta = flag.Float64("graph-beta", 0.1, "Watts–Strogatz rewiring probability")
+		graphP    = flag.Float64("graph-p", 0.02, "Erdős–Rényi edge probability")
+		colors    = flag.Int("colors", 5, "palette size |C|")
+		config    = flag.String("config", "minimum", "initial configuration: minimum, cross, comb, random, blocked, frozen (tori); hubs[:size], random[:size], greedy[:size] (graphs)")
+		ruleName  = flag.String("rule", "smp", "recoloring rule: "+strings.Join(dynmon.RuleNames(), ", "))
+		target    = flag.Int("target", 1, "target color k")
+		seed      = flag.Uint64("seed", 1, "random seed for graph generation and random configurations")
+		avail     = flag.Float64("availability", 1, "per-round Bernoulli link availability (< 1 runs the time-varying mode)")
+		maxRounds = flag.Int("max-rounds", 0, "round budget (0 = substrate default)")
+		render    = flag.Bool("render", false, "render the initial and final colorings (tori only)")
+		animate   = flag.Bool("animate", false, "render the configuration after every round (tori only)")
+		timing    = flag.Bool("timing", false, "print the per-vertex recoloring-time matrix (Figures 5/6 format, tori only)")
+		timeout   = flag.Duration("timeout", 0, "abort the simulation after this duration (0 = no limit)")
 	)
 	flag.Parse()
 
-	sys, err := dynmon.New(
-		dynmon.WithTopology(*topology, *rows, *cols),
-		dynmon.Colors(*colors),
-		dynmon.WithRule(*ruleName),
-	)
+	opts := []dynmon.Option{dynmon.Colors(*colors), dynmon.WithRule(*ruleName)}
+	switch *graphKind {
+	case "":
+		opts = append(opts, dynmon.WithTopology(*topology, *rows, *cols))
+	case "ba":
+		opts = append(opts, dynmon.BarabasiAlbert(*graphN, *graphM, *seed))
+	case "ws":
+		opts = append(opts, dynmon.WattsStrogatz(*graphN, *graphK, *graphBeta, *seed))
+	case "er":
+		opts = append(opts, dynmon.ErdosRenyi(*graphN, *graphP, *seed))
+	default:
+		fatal(fmt.Errorf("unknown graph kind %q (want ba, ws or er)", *graphKind))
+	}
+	// On graph substrates dynmon itself resolves the default "smp" to its
+	// degree-aware generalized form; no CLI-side remapping needed.
+	sys, err := dynmon.New(opts...)
 	if err != nil {
 		fatal(err)
 	}
 	k := color.Color(*target)
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	runOpts := []dynmon.RunOption{
+		dynmon.Target(k),
+		dynmon.StopWhenMonochromatic(),
+		dynmon.MaxRounds(*maxRounds),
+	}
+	if *avail < 1 {
+		runOpts = append(runOpts, dynmon.TimeVarying(dynmon.Bernoulli{P: *avail, Seed: *seed}))
+	} else {
+		runOpts = append(runOpts, dynmon.DetectCycles())
+	}
+
+	if sys.Graph() != nil {
+		runGraph(ctx, sys, *config, k, *seed, runOpts)
+		return
+	}
 
 	cons, err := buildConfig(sys, *config, k, *seed)
 	if err != nil {
@@ -63,18 +118,6 @@ func main() {
 		fmt.Print(dynmon.Render(initial, k))
 	}
 
-	ctx := context.Background()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
-	}
-
-	runOpts := []dynmon.RunOption{
-		dynmon.Target(k),
-		dynmon.StopWhenMonochromatic(),
-		dynmon.DetectCycles(),
-	}
 	if *animate {
 		runOpts = append(runOpts, dynmon.WithObserver(dynmon.NewAnimator(os.Stdout, k)))
 	}
@@ -107,6 +150,58 @@ func main() {
 		fmt.Println("recoloring-time matrix (0 = seed, · = never):")
 		fmt.Print(rendered)
 	}
+}
+
+// runGraph drives a general-graph simulation: seed by configuration name,
+// run on the unified engine, report the spread.
+func runGraph(ctx context.Context, sys *dynmon.System, config string, k color.Color, seed uint64, runOpts []dynmon.RunOption) {
+	g := sys.Graph()
+	others := sys.Palette().Others(k)
+	if len(others) == 0 {
+		fatal(fmt.Errorf("graph runs need a background color distinct from the target; use -colors 2 or more"))
+	}
+	background := others[0]
+	name, size := splitConfig(config, 8)
+
+	var initial *dynmon.Coloring
+	switch name {
+	case "hubs":
+		initial = sys.SeedTopByDegree(size, k, background)
+	case "random":
+		initial = sys.SeedRandom(size, k, background, seed)
+	case "greedy":
+		seeds := sys.GreedyTargetSet(k, background, size, 0, 30, seed)
+		initial = sys.NewColoring(background)
+		for _, v := range seeds {
+			initial.Set(v, k)
+		}
+	default:
+		fatal(fmt.Errorf("unknown graph config %q (want hubs[:size], random[:size] or greedy[:size])", config))
+	}
+
+	fmt.Printf("graph n=%d edges=%d max-degree=%d colors=%d rule=%s config=%s seed-size=%d\n",
+		g.N(), g.EdgeCount(), g.MaxDegree(), sys.Palette().K, sys.Rule().Name(), config, initial.Count(k))
+	res, err := sys.Run(ctx, initial, runOpts...)
+	if err != nil {
+		fmt.Printf("simulation aborted after %d rounds: %v\n", res.Rounds, err)
+		os.Exit(1)
+	}
+	fmt.Printf("rounds=%d kernel=%s fixed-point=%v monochromatic=%v activated=%d/%d (%.2f)\n",
+		res.Rounds, res.Kernel, res.FixedPoint, res.Monochromatic,
+		res.Final.Count(k), g.N(), float64(res.Final.Count(k))/float64(g.N()))
+}
+
+// splitConfig parses "name:size" with a default size.
+func splitConfig(config string, defaultSize int) (string, int) {
+	name, sizeStr, found := strings.Cut(config, ":")
+	if !found {
+		return name, defaultSize
+	}
+	var size int
+	if _, err := fmt.Sscanf(sizeStr, "%d", &size); err != nil || size < 1 {
+		fatal(fmt.Errorf("bad config size %q", sizeStr))
+	}
+	return name, size
 }
 
 func buildConfig(sys *dynmon.System, config string, k color.Color, seed uint64) (*dynamo.Construction, error) {

@@ -5,21 +5,28 @@
 //
 //   - the three 4-regular torus topologies studied by the paper (toroidal
 //     mesh, torus cordalis, torus serpentinus) — internal/grid;
-//   - the SMP-Protocol ("simple majority with persuadable entities") and the
-//     bi-colored baseline rules of Flocchini et al. — internal/rules;
-//   - a synchronous simulation engine with sequential and parallel stepping,
-//     monotonicity tracking and recoloring-time traces — internal/sim;
+//   - the SMP-Protocol ("simple majority with persuadable entities"), its
+//     degree-aware generalization and the bi-colored baseline rules of
+//     Flocchini et al. — internal/rules;
+//   - a topology-generic synchronous simulation engine: four bit-identical
+//     stepping tiers (full sweep, striped parallel, dirty frontier,
+//     word-parallel bitplane) over any CSR substrate — the three tori or
+//     arbitrary graphs — plus a time-varying run mode that masks link
+//     availability per round — internal/sim;
 //   - k-block / non-k-block / forest structural analysis — internal/blocks;
 //   - the paper's dynamo constructions, lower bounds, round-count formulas
 //     and counterexamples — internal/dynamo;
 //   - the experiment harness regenerating every table and figure of the
 //     paper — internal/analysis and bench_test.go;
-//   - the extensions sketched in the paper's conclusions (scale-free graphs,
-//     time-varying graphs, bounded-confidence opinions) — internal/graphs,
-//     internal/tvg, internal/opinion;
+//   - the extensions sketched in the paper's conclusions, all running on the
+//     unified engine: general graphs with a cached CSR view and target-set
+//     heuristics (internal/graphs), link-availability models for the
+//     time-varying mode (internal/tvg), bounded-confidence opinions
+//     (internal/opinion);
 //   - the public, context-aware façade with pluggable rule/topology
-//     registries, observers and batched sessions — dynmon (which replaced
-//     the deleted internal/core façade; CI keeps it deleted).
+//     registries, graph and time-varying systems, observers and batched
+//     sessions — dynmon (which replaced the deleted internal/core façade;
+//     CI keeps it deleted).
 //
 // See README.md for a quickstart, DESIGN.md for the system inventory and
 // EXPERIMENTS.md for the paper-vs-measured record of every experiment.

@@ -1,18 +1,30 @@
 // Package dynmon is the public API of the repository: dynamic monopolies
 // ("dynamos") on colored tori under the SMP-Protocol of Brunetti, Lodi and
 // Quattrociocchi (IPPS Workshops 2011, arXiv:1101.5915), plus the baseline
-// rules and topologies the paper compares against.
+// rules and topologies the paper compares against, and the general-graph
+// and time-varying extensions its conclusions call for.
 //
 // It replaces the former internal/core façade as the supported surface.  A
-// System bundles a topology, a palette and a recoloring rule, built with
+// System bundles a substrate, a palette and a recoloring rule, built with
 // functional options:
 //
 //	sys, err := dynmon.New(dynmon.Mesh(9, 9), dynmon.Colors(5), dynmon.WithRule("smp"))
+//
+// Substrates are not limited to the three tori: the same tiered engine
+// steps arbitrary graphs, so scale-free and small-world systems are one
+// option away (with the degree-aware "generalized-smp" rule as their
+// default):
+//
+//	sys, err := dynmon.New(dynmon.BarabasiAlbert(10000, 2, 7), dynmon.Colors(2))
 //
 // Simulation is context-aware — Run honors cancellation and deadlines at
 // every round boundary:
 //
 //	res, err := sys.Run(ctx, initial, dynmon.Target(1), dynmon.StopWhenMonochromatic())
+//
+// The TimeVarying run option masks link availability per round (Bernoulli
+// churn, node faults, duty cycling — or any Availability implementation),
+// the intermittent-network model from the paper's conclusions.
 //
 // Observers (OnRound/OnFinish) watch a run as it evolves; the package ships
 // a history recorder, an ASCII animator and a stats collector.  A Session
@@ -65,11 +77,13 @@ type (
 // None is the zero Color, meaning "no color".
 const None = color.None
 
-// System bundles a torus topology, a palette and a recoloring rule, and
-// owns the simulation engine that evolves colorings under them.  A System
-// is immutable after New and safe for concurrent use.
+// System bundles a substrate — a torus topology or a general graph — with a
+// palette and a recoloring rule, and owns the simulation engine that
+// evolves colorings under them.  A System is immutable after New and safe
+// for concurrent use.
 type System struct {
-	topo    Topology
+	topo    Topology      // nil for graph systems
+	graph   *GeneralGraph // nil for torus systems
 	palette Palette
 	rule    Rule
 	engine  *sim.Engine
@@ -97,15 +111,25 @@ func New(opts ...Option) (*System, error) {
 }
 
 // NewFromConfig builds a System from an explicit Config; New is the
-// options-based front end.  Instance fields (Topology, Rule) win over the
-// corresponding name fields.
+// options-based front end.  Instance fields win over the corresponding name
+// fields, and a Graph substrate wins over both topology fields.  Graph
+// systems whose rule is the (default) "smp" name resolve it to
+// "generalized-smp", the degree-aware form of the same protocol — on
+// 4-regular substrates the two are bit-identical (pinned by differential
+// tests), and on irregular graphs only the generalized form has the
+// intended ⌈d/2⌉ majority semantics.
 func NewFromConfig(cfg Config) (*System, error) {
-	topo := cfg.Topology
-	if topo == nil {
-		var err error
-		topo, err = grid.ByName(cfg.TopologyName, cfg.Rows, cfg.Cols)
-		if err != nil {
-			return nil, err
+	var (
+		topo Topology
+		err  error
+	)
+	if cfg.Graph == nil {
+		topo = cfg.Topology
+		if topo == nil {
+			topo, err = grid.ByName(cfg.TopologyName, cfg.Rows, cfg.Cols)
+			if err != nil {
+				return nil, err
+			}
 		}
 	}
 	p, err := color.NewPalette(cfg.Colors)
@@ -114,21 +138,34 @@ func NewFromConfig(cfg Config) (*System, error) {
 	}
 	rule := cfg.Rule
 	if rule == nil {
-		rule, err = rules.ByName(cfg.RuleName)
+		name := cfg.RuleName
+		if cfg.Graph != nil && name == "smp" {
+			name = "generalized-smp"
+		}
+		rule, err = rules.ByName(name)
 		if err != nil {
 			return nil, err
 		}
 	}
-	return &System{
+	s := &System{
 		topo:    topo,
+		graph:   cfg.Graph,
 		palette: p,
 		rule:    rule,
-		engine:  sim.NewEngine(topo, rule),
-	}, nil
+	}
+	if cfg.Graph != nil {
+		s.engine = cfg.Graph.EngineFor(rule)
+	} else {
+		s.engine = sim.NewEngine(topo, rule)
+	}
+	return s, nil
 }
 
-// Topology returns the system's interaction topology.
+// Topology returns the system's torus topology, or nil for a graph system.
 func (s *System) Topology() Topology { return s.topo }
+
+// Graph returns the system's general graph, or nil for a torus system.
+func (s *System) Graph() *GeneralGraph { return s.graph }
 
 // Palette returns the system's color set.
 func (s *System) Palette() Palette { return s.palette }
@@ -136,11 +173,18 @@ func (s *System) Palette() Palette { return s.palette }
 // Rule returns the system's recoloring rule.
 func (s *System) Rule() Rule { return s.rule }
 
-// Dims returns the lattice dimensions.
-func (s *System) Dims() Dims { return s.topo.Dims() }
+// Dims returns the substrate's vertex layout: the lattice dimensions of a
+// torus system, or the degenerate 1×n line of a graph system.
+func (s *System) Dims() Dims { return s.engine.Substrate().Dims() }
 
-// String renders the system as "topology RxC, K colors, rule".
+// N returns the number of vertices.
+func (s *System) N() int { return s.Dims().N() }
+
+// String renders the system as "substrate, K colors, rule".
 func (s *System) String() string {
+	if s.graph != nil {
+		return fmt.Sprintf("graph n=%d m=%d, %d colors, rule %s", s.graph.N(), s.graph.EdgeCount(), s.palette.K, s.rule.Name())
+	}
 	d := s.topo.Dims()
 	return fmt.Sprintf("%s %dx%d, %d colors, rule %s", s.topo.Name(), d.Rows, d.Cols, s.palette.K, s.rule.Name())
 }
@@ -157,33 +201,45 @@ func (s *System) Run(ctx context.Context, initial *Coloring, opts ...RunOption) 
 // NewColoring returns a coloring of the system's dimensions with every
 // vertex set to fill (use None to leave it unset).
 func (s *System) NewColoring(fill Color) *Coloring {
-	return color.NewColoring(s.topo.Dims(), fill)
+	return color.NewColoring(s.Dims(), fill)
 }
 
-// RandomColoring returns a uniformly random coloring of the system's torus,
-// deterministic in the seed.
+// RandomColoring returns a uniformly random coloring of the system's
+// substrate, deterministic in the seed.
 func (s *System) RandomColoring(seed uint64) *Coloring {
 	src := rng.New(seed)
-	return color.RandomColoring(s.topo.Dims(), s.palette, func() int { return src.Intn(s.palette.K) })
+	return color.RandomColoring(s.Dims(), s.palette, func() int { return src.Intn(s.palette.K) })
 }
 
 // MinimumDynamo builds the paper's tight construction for the system's
 // topology: Theorem 2 for the toroidal mesh, Theorem 4 for the torus
-// cordalis and Theorem 6 for the torus serpentinus.
+// cordalis and Theorem 6 for the torus serpentinus.  Graph systems have no
+// such closed-form construction and return an error; use the target-set
+// helpers (SeedTopByDegree, GreedyTargetSet) instead.
 func (s *System) MinimumDynamo(target Color) (*Construction, error) {
+	if s.topo == nil {
+		return nil, fmt.Errorf("dynmon: MinimumDynamo requires a torus topology; graph systems use the target-set helpers")
+	}
 	d := s.topo.Dims()
 	return dynamo.Minimum(s.topo.Kind(), d.Rows, d.Cols, target, s.palette)
 }
 
 // LowerBound returns the paper's lower bound on the size of a monotone
-// dynamo for the system's topology and size.
+// dynamo for the system's topology and size, or 0 for a graph system (the
+// paper proves no general-graph bound).
 func (s *System) LowerBound() int {
+	if s.topo == nil {
+		return 0
+	}
 	return dynamo.LowerBound(s.topo.Kind(), s.topo.Dims())
 }
 
 // PredictedRounds returns the Theorem 7/8 convergence-time prediction for
-// the system's topology and size.
+// the system's topology and size, or 0 for a graph system.
 func (s *System) PredictedRounds() int {
+	if s.topo == nil {
+		return 0
+	}
 	return dynamo.PredictedRounds(s.topo.Kind(), s.topo.Dims())
 }
 

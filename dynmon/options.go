@@ -21,10 +21,14 @@ type Config struct {
 	Colors int
 	// RuleName is resolved through the rule registry ("smp",
 	// "simple-majority-pb", ... or any registered name).  Ignored when Rule
-	// is non-nil.
+	// is non-nil.  On a Graph substrate the default "smp" resolves to
+	// "generalized-smp" (see NewFromConfig).
 	RuleName string
 	// Rule, when non-nil, is used directly.
 	Rule Rule
+	// Graph, when non-nil, makes the system run over this general graph and
+	// wins over both topology fields.
+	Graph *GeneralGraph
 }
 
 // Option configures New.

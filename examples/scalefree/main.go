@@ -3,13 +3,12 @@
 // have a comparative analysis with respect to other algorithmic models of
 // social influence".
 //
-// The example generates a Barabási–Albert network, spreads an opinion from
-// hub, random and greedy-TSS seed sets under both the generalized SMP rule
-// and the irreversible linear-threshold rule, and compares the outcome with
-// the Deffuant bounded-confidence model on the same graph.  Scale-free
-// graphs are not tori, so the example drives the general-graph engine
-// directly; the recoloring rule itself is resolved through the dynmon rule
-// registry, the same catalog the torus tools use.
+// The example builds a Barabási–Albert system through the public dynmon
+// API — general graphs are first-class substrates of the same tiered
+// engine that steps the tori — spreads an opinion from hub, random and
+// greedy-TSS seed sets under both the generalized SMP rule and the
+// irreversible linear-threshold rule, and compares the outcome with the
+// Deffuant bounded-confidence model on the same graph.
 //
 // Run with:
 //
@@ -17,54 +16,70 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"repro/dynmon"
-	"repro/internal/graphs"
 	"repro/internal/opinion"
 	"repro/internal/rng"
 )
 
 func main() {
 	const vertices, attach = 400, 2
-	g, err := graphs.NewBarabasiAlbert(vertices, attach, rng.New(11))
+	g, err := dynmon.NewBarabasiAlbert(vertices, attach, 11)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("Barabási–Albert network: %d vertices, %d edges, max degree %d, average degree %.1f\n\n",
 		g.N(), g.EdgeCount(), g.MaxDegree(), g.AverageDegree())
 
-	// The irreversible linear-threshold rule (Kempe/Kleinberg/Tardos
-	// style), by registry name.
-	threshold, err := dynmon.RuleByName("threshold")
+	// Two systems over the same graph substrate: the degree-aware
+	// generalized SMP protocol (the default graph rule) and the
+	// irreversible linear-threshold rule (Kempe/Kleinberg/Tardos style),
+	// both resolved through the dynmon rule registry.
+	smpSys, err := dynmon.New(dynmon.Graph(g), dynmon.Colors(2))
 	if err != nil {
 		log.Fatal(err)
 	}
-	smp := graphs.GeneralizedSMP{}
+	thrSys, err := dynmon.New(dynmon.Graph(g), dynmon.Colors(2), dynmon.WithRule("threshold"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
 
 	fmt.Println("opinion spreading from small seed sets (fraction of the network activated):")
 	fmt.Printf("%-10s %-22s %-22s\n", "seed size", "irreversible threshold", "generalized SMP")
 	for _, seedSize := range []int{4, 8, 16, 32} {
-		hubSeed := graphs.SeedTopByDegree(g, seedSize, 1, 2)
-		thrRes := graphs.Run(g, threshold, hubSeed, 1, 800)
-		smpRes := graphs.Run(g, smp, hubSeed, 1, 800)
+		hubSeed := smpSys.SeedTopByDegree(seedSize, 1, 2)
+		thrRes, err := thrSys.Run(ctx, hubSeed, dynmon.MaxRounds(800))
+		if err != nil {
+			log.Fatal(err)
+		}
+		smpRes, err := smpSys.Run(ctx, hubSeed, dynmon.MaxRounds(800))
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("%-10d %-22.2f %-22.2f\n", seedSize,
-			float64(thrRes.TargetCount)/float64(g.N()),
-			float64(smpRes.TargetCount)/float64(g.N()))
+			float64(thrRes.Final.Count(1))/float64(g.N()),
+			float64(smpRes.Final.Count(1))/float64(g.N()))
 	}
 	fmt.Println("\nthe irreversible threshold rule cascades from a handful of hubs, while the")
 	fmt.Println("reversible SMP-style rule lets the majority push back — the same contrast the")
 	fmt.Println("paper observes between target-set selection and its persuadable entities.")
 
-	// Greedy target set selection baseline.
-	seeds := graphs.GreedyTargetSet(g, threshold, 1, 2, 10, 400, 30, rng.New(5))
-	c := graphs.NewColoring(g.N(), 2)
+	// Greedy target set selection baseline, evaluated on the system's
+	// pooled engine.
+	seeds := thrSys.GreedyTargetSet(1, 2, 10, 400, 30, 5)
+	c := thrSys.NewColoring(2)
 	for _, v := range seeds {
 		c.Set(v, 1)
 	}
-	res := graphs.Run(g, threshold, c, 1, 800)
-	fmt.Printf("\ngreedy TSS baseline: %d seeds activate %d/%d vertices\n", len(seeds), res.TargetCount, g.N())
+	res, err := thrSys.Run(ctx, c, dynmon.MaxRounds(800))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ngreedy TSS baseline: %d seeds activate %d/%d vertices\n", len(seeds), res.Final.Count(1), g.N())
 
 	// Bounded-confidence comparison (continuous opinions on the same graph).
 	deff, err := opinion.Run(g, opinion.DefaultParams(), rng.New(3))

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -17,8 +18,6 @@ import (
 	"repro/internal/color"
 	"repro/internal/dynamo"
 	"repro/internal/grid"
-	"repro/internal/rules"
-	"repro/internal/tvg"
 )
 
 func main() {
@@ -67,11 +66,24 @@ func main() {
 	}
 	static := dynamo.Verify(cons)
 	fmt.Printf("static torus: %d rounds\n", static.Rounds)
+	// The time-varying runs go through the public engine: the TimeVarying
+	// run option masks link availability per round.
+	sys, err := dynmon.New(dynmon.Mesh(9, 9), dynmon.Colors(5), dynmon.WithRule("smp"))
+	if err != nil {
+		log.Fatal(err)
+	}
 	for _, p := range []float64{0.99, 0.95, 0.9} {
 		wins, totalRounds := 0, 0
 		const runs = 5
 		for i := 0; i < runs; i++ {
-			res := tvg.Run(cons.Topology, tvg.Bernoulli{P: p, Seed: uint64(37 + i)}, rules.SMP{}, cons.Coloring, 4000)
+			res, err := sys.Run(context.Background(), cons.Coloring,
+				dynmon.TimeVarying(dynmon.Bernoulli{P: p, Seed: uint64(37 + i)}),
+				dynmon.MaxRounds(4000),
+				dynmon.StopWhenMonochromatic(),
+			)
+			if err != nil {
+				log.Fatal(err)
+			}
 			if res.Monochromatic && res.FinalColor == 1 {
 				wins++
 				totalRounds += res.Rounds

@@ -15,7 +15,6 @@ import (
 	"repro/internal/graphs"
 	"repro/internal/grid"
 	"repro/internal/rng"
-	"repro/internal/rules"
 	"repro/internal/search"
 	"repro/internal/tvg"
 )
@@ -90,10 +89,19 @@ func TestCrossPackageConsistency(t *testing.T) {
 	}
 	static := dynamo.Verify(cons)
 
-	// Time-varying engine with AlwaysOn must agree exactly.
-	tv := tvg.Run(cons.Topology, tvg.AlwaysOn{}, rules.SMP{}, cons.Coloring, 0)
+	// The time-varying run mode with AlwaysOn must agree exactly, through
+	// the public TimeVarying run option.
+	tvSys, err := dynmon.New(dynmon.Mesh(8, 8), dynmon.Colors(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tv, err := tvSys.Run(context.Background(), cons.Coloring,
+		dynmon.TimeVarying(tvg.AlwaysOn{}), dynmon.StopWhenMonochromatic())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !tv.Monochromatic || tv.Rounds != static.Rounds {
-		t.Errorf("tvg AlwaysOn disagrees with the static engine: %d vs %d rounds", tv.Rounds, static.Rounds)
+		t.Errorf("TimeVarying AlwaysOn disagrees with the static engine: %d vs %d rounds", tv.Rounds, static.Rounds)
 	}
 
 	// General-graph engine on the converted torus must reach the same

@@ -417,7 +417,11 @@ func E14TimeVarying() *Table {
 		wins := 0
 		var winRounds []float64
 		for i := 0; i < runs; i++ {
-			res := tvg.Run(c.Topology, tvg.Bernoulli{P: p, Seed: uint64(100*i) + 11}, rules.SMP{}, c.Coloring, 3000)
+			res := sim.Run(c.Topology, rules.SMP{}, c.Coloring, sim.Options{
+				TimeVarying:           tvg.Bernoulli{P: p, Seed: uint64(100*i) + 11},
+				MaxRounds:             3000,
+				StopWhenMonochromatic: true,
+			})
 			if res.Monochromatic && res.FinalColor == 1 {
 				wins++
 				winRounds = append(winRounds, float64(res.Rounds))

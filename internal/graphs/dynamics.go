@@ -4,43 +4,14 @@ import (
 	"repro/internal/color"
 	"repro/internal/rng"
 	"repro/internal/rules"
+	"repro/internal/sim"
 )
 
-// GeneralizedSMP extends the paper's SMP-Protocol to vertices of arbitrary
-// degree d: a vertex adopts a color when that color is held by at least
-// ⌈d/2⌉ of its neighbors and is the unique color attaining the maximum
-// multiplicity; otherwise it keeps its current color.  On 4-regular graphs
-// this coincides with the torus SMP rule for the 4+0, 3+1 and 2+1+1 patterns
-// and keeps the current color on 2+2 ties, matching Algorithm 1.
-type GeneralizedSMP struct{}
-
-// Name returns "generalized-smp".
-func (GeneralizedSMP) Name() string { return "generalized-smp" }
-
-// Next applies the rule to a neighborhood of arbitrary size.
-func (GeneralizedSMP) Next(current color.Color, neighbors []color.Color) color.Color {
-	if len(neighbors) == 0 {
-		return current
-	}
-	counts := map[color.Color]int{}
-	for _, c := range neighbors {
-		counts[c]++
-	}
-	best, bestCount, unique := color.None, 0, false
-	for c, n := range counts {
-		switch {
-		case n > bestCount:
-			best, bestCount, unique = c, n, true
-		case n == bestCount:
-			unique = false
-		}
-	}
-	need := (len(neighbors) + 1) / 2
-	if unique && bestCount >= need {
-		return best
-	}
-	return current
-}
+// GeneralizedSMP is the degree-aware extension of the paper's SMP-Protocol;
+// it lives in internal/rules (registered as "generalized-smp") and is
+// re-exported here for the general-graph callers that historically found it
+// in this package.
+type GeneralizedSMP = rules.GeneralizedSMP
 
 // RunResult describes a finished run of a rule over a general graph.
 type RunResult struct {
@@ -53,43 +24,43 @@ type RunResult struct {
 	// TargetCount is the number of vertices holding the target color at the
 	// end (0 if no target was supplied).
 	TargetCount int
+	// Engine is the full engine result behind the run, for callers that
+	// want the change trace, kernel tier or monochromatic flags.
+	Engine *sim.Result
+}
+
+// EngineFor returns the simulation engine for the graph's current view and
+// the rule — the same tiered engine (dirty frontier, striped parallel
+// sweeps, pooled zero-allocation buffers) that steps the tori, memoized on
+// the view so repeated runs share pooled buffers and dropped graphs free
+// everything.  Callers that want non-default run options go through it
+// directly:
+//
+//	res, err := g.EngineFor(rule).RunContext(ctx, initial, opts)
+func (g *Graph) EngineFor(rule rules.Rule) *sim.Engine {
+	return g.View().EngineFor(rule)
 }
 
 // Run evolves the coloring synchronously under the rule for at most
-// maxRounds rounds, stopping early at a fixed point.
+// maxRounds rounds (<= 0 selects the graph's degree-aware
+// DefaultMaxRounds), stopping early at a fixed point.  It executes on the
+// tiered simulation engine — the dirty-frontier stepper by default — and is
+// bit-identical, round for round, to the full-sweep loop it replaced
+// (pinned by TestRunMatchesLegacyLoop).  The initial coloring is not
+// modified, and repeated runs over the same graph allocate nothing beyond
+// the result through the engine's pooled buffers.
 func Run(g *Graph, rule rules.Rule, initial *Coloring, target color.Color, maxRounds int) *RunResult {
-	if maxRounds <= 0 {
-		maxRounds = 4*g.N() + 16
+	res := g.EngineFor(rule).Run(initial, sim.Options{MaxRounds: maxRounds})
+	out := &RunResult{
+		Rounds:     res.Rounds,
+		FixedPoint: res.FixedPoint,
+		Final:      res.Final,
+		Engine:     res,
 	}
-	cur := initial.Clone()
-	next := initial.Clone()
-	res := &RunResult{}
-	scratch := make([]color.Color, 0, g.MaxDegree())
-	for round := 1; round <= maxRounds; round++ {
-		changed := 0
-		for v := 0; v < g.N(); v++ {
-			scratch = scratch[:0]
-			for _, u := range g.Neighbors(v) {
-				scratch = append(scratch, cur.At(u))
-			}
-			nc := rule.Next(cur.At(v), scratch)
-			next.Set(v, nc)
-			if nc != cur.At(v) {
-				changed++
-			}
-		}
-		res.Rounds = round
-		cur, next = next, cur
-		if changed == 0 {
-			res.FixedPoint = true
-			break
-		}
-	}
-	res.Final = cur
 	if target != color.None {
-		res.TargetCount = cur.Count(target)
+		out.TargetCount = res.Final.Count(target)
 	}
-	return res
+	return out
 }
 
 // SeedTopByDegree returns a coloring in which the `size` highest-degree
@@ -140,27 +111,38 @@ func SeedRandom(g *Graph, size int, target, background color.Color, src *rng.Sou
 // whole graph activates or maxSeed vertices have been chosen.  It returns
 // the chosen seed vertices.
 //
-// The marginal gain is evaluated exactly (one simulation per candidate), so
+// The marginal gain is evaluated exactly (one engine run per candidate), so
 // the intended use is graphs of a few hundred vertices; candidateSample > 0
 // restricts each step to a random sample of that many candidates to keep
 // larger instances tractable.
 func GreedyTargetSet(g *Graph, rule rules.Rule, target, background color.Color, maxSeed, maxRounds, candidateSample int, src *rng.Source) []int {
+	return GreedyTargetSetEngine(g.EngineFor(rule), target, background, maxSeed, maxRounds, candidateSample, src)
+}
+
+// GreedyTargetSetEngine is GreedyTargetSet over an already built engine —
+// the form the public dynmon systems use, and the reason the greedy search
+// inherits the engine tiers: every candidate evaluation is a pooled
+// frontier run, not a fresh full-sweep loop.
+func GreedyTargetSetEngine(eng *sim.Engine, target, background color.Color, maxSeed, maxRounds, candidateSample int, src *rng.Source) []int {
 	if src == nil {
 		src = rng.New(1)
 	}
+	d := eng.Substrate().Dims()
+	n := d.N()
 	seed := map[int]bool{}
 	var chosen []int
+	c := color.NewColoring(d, background)
 	evaluate := func() int {
-		c := NewColoring(g.N(), background)
+		c.Fill(background)
 		for v := range seed {
 			c.Set(v, target)
 		}
-		return Run(g, rule, c, target, maxRounds).TargetCount
+		return eng.Run(c, sim.Options{MaxRounds: maxRounds}).Final.Count(target)
 	}
 	current := 0
-	for len(chosen) < maxSeed && current < g.N() {
-		candidates := make([]int, 0, g.N())
-		for v := 0; v < g.N(); v++ {
+	for len(chosen) < maxSeed && current < n {
+		candidates := make([]int, 0, n)
+		for v := 0; v < n; v++ {
 			if !seed[v] {
 				candidates = append(candidates, v)
 			}

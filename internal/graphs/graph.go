@@ -2,19 +2,33 @@
 // sketched in the paper's conclusions: running SMP-style majority dynamics
 // and target-set-selection baselines on non-torus topologies such as
 // scale-free (Barabási–Albert) networks.
+//
+// Graphs plug into the simulation engine of internal/sim through a cached
+// CSR view (Graph.View implements sim.Substrate), so every run — Run,
+// GreedyTargetSet, the E-series experiments and the public dynmon graph
+// systems — executes on the same tiered engine as the tori: dirty frontier
+// by default, striped parallel sweeps on request, pooled zero-allocation
+// buffers throughout.  Only the bitplane tier stays torus-only.
 package graphs
 
 import (
 	"fmt"
+	"reflect"
+	"sync"
 
 	"repro/internal/color"
 	"repro/internal/grid"
 	"repro/internal/rng"
+	"repro/internal/rules"
+	"repro/internal/sim"
 )
 
 // Graph is a simple undirected graph stored as adjacency lists.
 type Graph struct {
 	adj [][]int
+	// mu guards the lazily built view below; AddEdge invalidates it.
+	mu   sync.Mutex
+	view *View
 }
 
 // NewGraph returns an empty graph with n vertices.
@@ -45,7 +59,9 @@ func (g *Graph) HasEdge(u, v int) bool {
 }
 
 // AddEdge inserts the undirected edge {u, v}.  Self-loops and duplicate
-// edges are ignored.
+// edges are ignored.  Mutating the graph invalidates its cached engine view
+// (see View); engines built over an earlier view keep stepping the earlier
+// snapshot.
 func (g *Graph) AddEdge(u, v int) {
 	if u == v || u < 0 || v < 0 || u >= g.N() || v >= g.N() {
 		return
@@ -55,6 +71,14 @@ func (g *Graph) AddEdge(u, v int) {
 	}
 	g.adj[u] = append(g.adj[u], v)
 	g.adj[v] = append(g.adj[v], u)
+	g.invalidate()
+}
+
+// invalidate drops the cached view after a mutation.
+func (g *Graph) invalidate() {
+	g.mu.Lock()
+	g.view = nil
+	g.mu.Unlock()
 }
 
 // EdgeCount returns the number of undirected edges.
@@ -155,7 +179,11 @@ func NewBarabasiAlbert(n, m int, src *rng.Source) (*Graph, error) {
 		}
 	}
 	for v := m + 1; v < n; v++ {
-		chosen := make(map[int]bool, m)
+		// chosen is kept as an insertion-ordered slice, not a map: map
+		// iteration order is randomized per run, and the order edges enter
+		// `repeated` changes every later degree-proportional draw, which
+		// silently made the "deterministic in the seed" contract false.
+		chosen := make([]int, 0, m)
 		for len(chosen) < m {
 			var candidate int
 			if len(repeated) == 0 {
@@ -163,11 +191,21 @@ func NewBarabasiAlbert(n, m int, src *rng.Source) (*Graph, error) {
 			} else {
 				candidate = repeated[src.Intn(len(repeated))]
 			}
-			if candidate != v {
-				chosen[candidate] = true
+			if candidate == v {
+				continue
+			}
+			dup := false
+			for _, u := range chosen {
+				if u == candidate {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				chosen = append(chosen, candidate)
 			}
 		}
-		for u := range chosen {
+		for _, u := range chosen {
 			g.AddEdge(v, u)
 			repeated = append(repeated, v, u)
 		}
@@ -228,56 +266,104 @@ func NewRandomRegular(n, d int, src *rng.Source) (*Graph, error) {
 	return nil, fmt.Errorf("graphs: failed to build a %d-regular graph on %d vertices", d, n)
 }
 
-// Coloring is a color assignment over a graph's vertices.
-type Coloring struct {
-	cells []color.Color
+// View is the frozen, engine-facing snapshot of a Graph: its CSR adjacency
+// index plus the metadata the sim.Substrate seam requires.  A View is
+// structurally immutable and safe for concurrent use; Graph.View caches one
+// per graph revision, so every engine, frontier and parallel run over an
+// unmutated graph shares a single index.  Engines are memoized per rule on
+// the view itself (EngineFor) rather than in a process-global cache, so a
+// dropped graph releases its index and pooled run buffers with it.
+type View struct {
+	csr    *grid.CSR
+	rounds int
+
+	mu      sync.Mutex
+	engines map[rules.Rule]*sim.Engine
 }
 
-// NewColoring returns a coloring of n vertices filled with fill.
+// EngineFor returns the view's memoized engine for the rule, building it on
+// first use.  Rules whose dynamic type is not comparable cannot be cache
+// keys and get a fresh engine per call.
+func (v *View) EngineFor(rule rules.Rule) *sim.Engine {
+	if !reflect.TypeOf(rule).Comparable() {
+		return sim.NewEngineOn(v, rule)
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if e, ok := v.engines[rule]; ok {
+		return e
+	}
+	if v.engines == nil {
+		v.engines = map[rules.Rule]*sim.Engine{}
+	}
+	e := sim.NewEngineOn(v, rule)
+	v.engines[rule] = e
+	return e
+}
+
+// Dims returns the degenerate 1×n vertex layout general-graph colorings
+// carry (see grid.BuildCSRAdj).
+func (v *View) Dims() grid.Dims { return v.csr.Dims() }
+
+// Name identifies the substrate in engine errors and experiment tables.
+func (v *View) Name() string {
+	return fmt.Sprintf("general-graph(n=%d)", v.csr.N())
+}
+
+// CSR returns the snapshot's adjacency index.
+func (v *View) CSR() *grid.CSR { return v.csr }
+
+// DefaultMaxRounds returns the graph's degree-aware round budget, computed
+// once at snapshot time (see Graph.DefaultMaxRounds).
+func (v *View) DefaultMaxRounds() int { return v.rounds }
+
+// View returns the graph's cached CSR view, building it on first use.  The
+// view is invalidated by mutations (AddEdge), so callers that interleave
+// construction and simulation always step the current structure, while
+// repeated runs over a frozen graph — the normal pattern — reuse one index
+// and one pooled engine.
+func (g *Graph) View() *View {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.view == nil {
+		g.view = &View{csr: grid.BuildCSRAdj(g.adj), rounds: g.DefaultMaxRounds()}
+	}
+	return g.view
+}
+
+// CSR returns the graph's cached CSR adjacency index (View's index).
+func (g *Graph) CSR() *grid.CSR { return g.View().CSR() }
+
+// DefaultMaxRounds returns the round budget used when a run passes
+// maxRounds <= 0.  The budget is degree-aware: synchronous information
+// travels one hop per round, so sparse graphs (large diameter, up to ~n/2
+// on a ring) need a budget linear in n, while denser graphs converge or
+// freeze within far fewer rounds.  With d̄ the average degree, the budget is
+//
+//	2·n + 4·n/(d̄+1) + 32
+//
+// which stays linear in n on rings (d̄ = 2 gives ≈3.3·n+32, the same order
+// as the old flat 4·n+16) and shrinks toward 2·n as the graph densifies,
+// with constant slack so tiny graphs keep a usable budget.  As with the
+// torus budget, exceeding it means "does not converge", not "budget too
+// small".
+func (g *Graph) DefaultMaxRounds() int {
+	n := g.N()
+	if n == 0 {
+		return 32
+	}
+	avg := 2 * g.EdgeCount() / n
+	return 2*n + 4*n/(avg+1) + 32
+}
+
+// Coloring is a color assignment over a graph's vertices.  It is the same
+// flat coloring the torus engine evolves, carrying the degenerate 1×n
+// vertex layout of the graph's View; NewColoring is the graph-shaped
+// constructor.
+type Coloring = color.Coloring
+
+// NewColoring returns a coloring of n vertices filled with fill, laid out
+// to match a View over an n-vertex graph.
 func NewColoring(n int, fill color.Color) *Coloring {
-	c := &Coloring{cells: make([]color.Color, n)}
-	for i := range c.cells {
-		c.cells[i] = fill
-	}
-	return c
-}
-
-// At returns the color of vertex v.
-func (c *Coloring) At(v int) color.Color { return c.cells[v] }
-
-// Set assigns a color to vertex v.
-func (c *Coloring) Set(v int, col color.Color) { c.cells[v] = col }
-
-// Count returns how many vertices carry col.
-func (c *Coloring) Count(col color.Color) int {
-	n := 0
-	for _, v := range c.cells {
-		if v == col {
-			n++
-		}
-	}
-	return n
-}
-
-// N returns the number of vertices.
-func (c *Coloring) N() int { return len(c.cells) }
-
-// Clone returns a deep copy.
-func (c *Coloring) Clone() *Coloring {
-	out := &Coloring{cells: make([]color.Color, len(c.cells))}
-	copy(out.cells, c.cells)
-	return out
-}
-
-// Equal reports whether two colorings agree everywhere.
-func (c *Coloring) Equal(o *Coloring) bool {
-	if len(c.cells) != len(o.cells) {
-		return false
-	}
-	for i := range c.cells {
-		if c.cells[i] != o.cells[i] {
-			return false
-		}
-	}
-	return true
+	return color.NewColoring(grid.Dims{Rows: 1, Cols: n}, fill)
 }

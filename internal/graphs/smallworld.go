@@ -57,6 +57,7 @@ func NewWattsStrogatz(n, k int, beta float64, src *rng.Source) (*Graph, error) {
 func (g *Graph) removeEdge(u, v int) {
 	g.adj[u] = removeValue(g.adj[u], v)
 	g.adj[v] = removeValue(g.adj[v], u)
+	g.invalidate()
 }
 
 func removeValue(xs []int, v int) []int {

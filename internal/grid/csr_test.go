@@ -80,3 +80,71 @@ func TestCSROfCaches(t *testing.T) {
 		t.Error("CSROf shared an index across different dimensions")
 	}
 }
+
+// TestBuildCSRAdj pins the general-graph constructor: offsets frame the
+// adjacency rows, the reverse index transposes the forward one, and the
+// regularity metadata (Uniform, MaxDegree) is computed correctly.
+func TestBuildCSRAdj(t *testing.T) {
+	// A small irregular digraph-shaped adjacency (vertex 3 is a sink).
+	adj := [][]int{{1, 2}, {0, 2, 3}, {0}, {}}
+	c := BuildCSRAdj(adj)
+	if c.N() != 4 {
+		t.Fatalf("N = %d, want 4", c.N())
+	}
+	if c.Dims() != (Dims{Rows: 1, Cols: 4}) {
+		t.Fatalf("Dims = %v, want the 1x4 line", c.Dims())
+	}
+	if c.Uniform() != 0 {
+		t.Fatalf("irregular index reported Uniform = %d", c.Uniform())
+	}
+	if c.MaxDegree() != 3 {
+		t.Fatalf("MaxDegree = %d, want 3", c.MaxDegree())
+	}
+	for v, row := range adj {
+		if c.Degree(v) != len(row) {
+			t.Fatalf("Degree(%d) = %d, want %d", v, c.Degree(v), len(row))
+		}
+		got := c.Neighbors[c.Off[v]:c.Off[v+1]]
+		for i, u := range row {
+			if int(got[i]) != u {
+				t.Fatalf("vertex %d neighbor %d: %d, want %d", v, i, got[i], u)
+			}
+		}
+	}
+	// Reverse index: who reads v?  readers[v] from the forward table.
+	readers := map[int][]int{}
+	for v, row := range adj {
+		for _, u := range row {
+			readers[u] = append(readers[u], v)
+		}
+	}
+	for v := 0; v < c.N(); v++ {
+		got := c.Rev[c.RevOff[v]:c.RevOff[v+1]]
+		if len(got) != len(readers[v]) {
+			t.Fatalf("vertex %d has %d reverse entries, want %d", v, len(got), len(readers[v]))
+		}
+		seen := map[int]bool{}
+		for _, u := range got {
+			seen[int(u)] = true
+		}
+		for _, u := range readers[v] {
+			if !seen[u] {
+				t.Fatalf("vertex %d reverse list misses reader %d", v, u)
+			}
+		}
+	}
+
+	// A regular adjacency reports its uniform degree.
+	ring := [][]int{{1, 2}, {2, 0}, {0, 1}}
+	if got := BuildCSRAdj(ring).Uniform(); got != 2 {
+		t.Fatalf("ring Uniform = %d, want 2", got)
+	}
+	// Torus construction carries the dense-degree metadata.
+	torus := BuildCSR(MustNew(KindToroidalMesh, 3, 3))
+	if torus.Uniform() != Degree || torus.MaxDegree() != Degree {
+		t.Fatalf("torus metadata: uniform %d maxdeg %d", torus.Uniform(), torus.MaxDegree())
+	}
+	if int(torus.Off[5]) != 5*Degree {
+		t.Fatal("torus offsets must frame the dense table")
+	}
+}

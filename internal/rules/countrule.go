@@ -34,6 +34,45 @@ func (cs *Counts) Add(c color.Color) {
 	}
 }
 
+// AddOK records one neighbor color and reports whether the vector still
+// represents the multiset exactly.  It returns false — leaving the vector
+// useless — when a fifth distinct color arrives or a multiplicity would
+// overflow the uint8 counter.  Neither can happen on the degree-4 tori;
+// the general-graph stepper uses AddOK to tally arbitrary-degree
+// neighborhoods and falls back to the exact slice path for the rare vertex
+// whose neighborhood does not fit (more than four distinct colors, or a
+// single color repeated 256+ times).
+func (cs *Counts) AddOK(c color.Color) bool {
+	for i := uint8(0); i < cs.n; i++ {
+		if cs.colors[i] == c {
+			if cs.count[i] == ^uint8(0) {
+				return false
+			}
+			cs.count[i]++
+			return true
+		}
+	}
+	if int(cs.n) == len(cs.colors) {
+		return false
+	}
+	cs.colors[cs.n] = c
+	cs.count[cs.n] = 1
+	cs.n++
+	return true
+}
+
+// Total returns the number of neighbor colors recorded, i.e. the degree of
+// the tallied vertex.  Degree-aware rules (GeneralizedSMP) derive their
+// majority threshold from it; the torus rules ignore it because their
+// thresholds hard-code the degree-4 neighborhood.
+func (cs *Counts) Total() int {
+	total := 0
+	for i := uint8(0); i < cs.n; i++ {
+		total += int(cs.count[i])
+	}
+	return total
+}
+
 // Max returns the color with the highest multiplicity, that multiplicity,
 // and whether the maximum is attained by exactly one color.
 func (cs *Counts) Max() (color.Color, int, bool) {

@@ -1,0 +1,86 @@
+package rules
+
+import "repro/internal/color"
+
+// GeneralizedSMP extends the paper's SMP-Protocol to vertices of arbitrary
+// degree d: a vertex adopts a color when that color is held by at least
+// ⌈d/2⌉ of its neighbors and is the unique color attaining the maximum
+// multiplicity; otherwise it keeps its current color.  On 4-regular graphs
+// this coincides with the torus SMP rule for the 4+0, 3+1 and 2+1+1 patterns
+// and keeps the current color on 2+2 ties, matching Algorithm 1 (pinned
+// exhaustively by tests in internal/graphs).
+type GeneralizedSMP struct{}
+
+// Name returns "generalized-smp".
+func (GeneralizedSMP) Name() string { return "generalized-smp" }
+
+// Next applies the rule to a neighborhood of arbitrary size.  It tallies
+// into a fixed-size Counts vector — no per-vertex map, so the engine's
+// steady-state loops stay allocation-free — and falls back to an exact
+// quadratic scan for the rare neighborhood that does not fit (more than
+// four distinct colors).
+func (g GeneralizedSMP) Next(current color.Color, neighbors []color.Color) color.Color {
+	if len(neighbors) == 0 {
+		return current
+	}
+	var cs Counts
+	for _, c := range neighbors {
+		if !cs.AddOK(c) {
+			return g.nextWide(current, neighbors)
+		}
+	}
+	return g.NextFromCounts(current, cs)
+}
+
+// nextWide is the exact fallback for neighborhoods with more than four
+// distinct colors (or 256+ copies of one color): an O(d²) scan that finds
+// the unique maximum-multiplicity color without allocating.
+func (GeneralizedSMP) nextWide(current color.Color, neighbors []color.Color) color.Color {
+	best, bestCount, unique := color.None, 0, false
+	for i, c := range neighbors {
+		seen := false
+		for j := 0; j < i; j++ {
+			if neighbors[j] == c {
+				seen = true
+				break
+			}
+		}
+		if seen {
+			continue
+		}
+		n := 1
+		for j := i + 1; j < len(neighbors); j++ {
+			if neighbors[j] == c {
+				n++
+			}
+		}
+		switch {
+		case n > bestCount:
+			best, bestCount, unique = c, n, true
+		case n == bestCount:
+			unique = false
+		}
+	}
+	need := (len(neighbors) + 1) / 2
+	if unique && bestCount >= need {
+		return best
+	}
+	return current
+}
+
+// NextFromCounts applies the generalized SMP rule to one tallied
+// neighborhood: adopt the unique maximum-multiplicity color when it covers
+// at least ⌈d/2⌉ of the d neighbors.  Unlike the torus rules it reads the
+// degree from the tally itself (Counts.Total), so the same decision function
+// serves every vertex of an irregular graph.
+func (GeneralizedSMP) NextFromCounts(current color.Color, cs Counts) color.Color {
+	d := cs.Total()
+	if d == 0 {
+		return current
+	}
+	best, count, unique := cs.Max()
+	if unique && count >= (d+1)/2 {
+		return best
+	}
+	return current
+}

@@ -54,7 +54,7 @@ func ByName(name string) (Rule, error) {
 // order they appear in the paper's experiments.  RegisteredNames lists
 // everything, including aliases and externally registered rules.
 func Names() []string {
-	return []string{"smp", "simple-majority-pb", "simple-majority-pc", "strong-majority", "increment", "irreversible-smp"}
+	return []string{"smp", "generalized-smp", "simple-majority-pb", "simple-majority-pc", "strong-majority", "increment", "irreversible-smp"}
 }
 
 // RegisteredNames returns every name ByName accepts, sorted, including
@@ -79,6 +79,10 @@ func init() {
 	Register("strong-majority", func() Rule { return StrongMajority{} })
 	Register("increment", func() Rule { return Increment{K: 4} })
 	Register("irreversible-smp", func() Rule { return IrreversibleSMP{Target: 1} })
+	// The degree-aware extension of the SMP-Protocol; on 4-regular
+	// substrates it is bit-identical to "smp" (pinned by differential
+	// tests), and it is the default rule of general-graph systems.
+	Register("generalized-smp", func() Rule { return GeneralizedSMP{} })
 	// The irreversible linear-threshold baseline was previously only
 	// constructible as a struct literal; registering it makes it reachable
 	// from the command-line tools and the dynmon façade too.

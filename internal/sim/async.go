@@ -53,13 +53,13 @@ type AsyncResult struct {
 // analyses the synchronous model; the asynchronous variant is provided for
 // the robustness experiments suggested in its conclusions.
 func (e *Engine) RunAsync(initial *color.Coloring, opt AsyncOptions) *AsyncResult {
-	d := e.topo.Dims()
+	d := e.sub.Dims()
 	if initial.Dims() != d {
 		panic("sim: RunAsync dimension mismatch")
 	}
 	maxSweeps := opt.MaxSweeps
 	if maxSweeps <= 0 {
-		maxSweeps = DefaultMaxRounds(d)
+		maxSweeps = e.sub.DefaultMaxRounds()
 	}
 	if opt.Order == AsyncRandom && opt.Source == nil {
 		opt.Source = rng.New(1)
@@ -73,14 +73,16 @@ func (e *Engine) RunAsync(initial *color.Coloring, opt AsyncOptions) *AsyncResul
 		order[i] = i
 	}
 
-	fwd := e.csr.Neighbors
-	var scratch [grid.Degree]color.Color
+	fwd, off := e.csr.Neighbors, e.csr.Off
+	var scratch4 [grid.Degree]color.Color
+	scratch := make([]color.Color, 0, e.maxDeg)
 	for sweep := 1; sweep <= maxSweeps; sweep++ {
 		if opt.Order == AsyncRandom {
 			opt.Source.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 		}
 		changed := 0
-		if cr := e.countRule; cr != nil {
+		switch cr := e.countRule; {
+		case e.deg4 && cr != nil:
 			for _, v := range order {
 				base := v * grid.Degree
 				var cs rules.Counts
@@ -94,15 +96,46 @@ func (e *Engine) RunAsync(initial *color.Coloring, opt AsyncOptions) *AsyncResul
 					changed++
 				}
 			}
-		} else {
+		case e.deg4:
 			for _, v := range order {
 				base := v * grid.Degree
-				scratch[0] = cells[fwd[base]]
-				scratch[1] = cells[fwd[base+1]]
-				scratch[2] = cells[fwd[base+2]]
-				scratch[3] = cells[fwd[base+3]]
-				nc := e.rule.Next(cells[v], scratch[:])
+				scratch4[0] = cells[fwd[base]]
+				scratch4[1] = cells[fwd[base+1]]
+				scratch4[2] = cells[fwd[base+2]]
+				scratch4[3] = cells[fwd[base+3]]
+				nc := e.rule.Next(cells[v], scratch4[:])
 				if nc != cells[v] {
+					cells[v] = nc
+					changed++
+				}
+			}
+		default:
+			for _, v := range order {
+				row := fwd[off[v]:off[v+1]]
+				cur := cells[v]
+				var nc color.Color
+				fits := false
+				if cr != nil {
+					var cs rules.Counts
+					fits = true
+					for _, u := range row {
+						if !cs.AddOK(cells[u]) {
+							fits = false
+							break
+						}
+					}
+					if fits {
+						nc = cr.NextFromCounts(cur, cs)
+					}
+				}
+				if !fits {
+					scratch = scratch[:0]
+					for _, u := range row {
+						scratch = append(scratch, cells[u])
+					}
+					nc = e.rule.Next(cur, scratch)
+				}
+				if nc != cur {
 					cells[v] = nc
 					changed++
 				}

@@ -77,6 +77,9 @@ func (e *Engine) bitplaneCheck(initial *color.Coloring) (int, *grid.ShiftPlan, r
 	if e.bitRule == nil {
 		return 0, nil, nil, fmt.Errorf("%w: rule %q has no word-parallel kernel", ErrBitplaneIneligible, e.rule.Name())
 	}
+	if e.topo == nil {
+		return 0, nil, nil, fmt.Errorf("%w: substrate %q is not a torus topology", ErrBitplaneIneligible, e.sub.Name())
+	}
 	plan, ok := grid.ShiftPlanOf(e.topo)
 	if !ok {
 		return 0, nil, nil, fmt.Errorf("%w: topology %q is not shift-regular", ErrBitplaneIneligible, e.topo.Name())
@@ -103,7 +106,7 @@ func (e *Engine) bitplaneCheck(initial *color.Coloring) (int, *grid.ShiftPlan, r
 // word-parallel form.  It is the public entry point for benchmarks and
 // callers that drive rounds by hand; Run uses a pooled Bitplane internally.
 func (e *Engine) NewBitplane(initial *color.Coloring) (*Bitplane, error) {
-	d := e.topo.Dims()
+	d := e.sub.Dims()
 	if initial.Dims() != d {
 		panic(fmt.Sprintf("sim: NewBitplane dimension mismatch %v vs %v", initial.Dims(), d))
 	}
@@ -121,7 +124,7 @@ func (e *Engine) NewBitplane(initial *color.Coloring) (*Bitplane, error) {
 // newBitplaneBuffers allocates a blank stepper (all plane and bookkeeping
 // buffers, no configuration); callers must resetWith before stepping.
 func (e *Engine) newBitplaneBuffers() *Bitplane {
-	d := e.topo.Dims()
+	d := e.sub.Dims()
 	bp := &Bitplane{
 		e:        e,
 		nbits:    d.N(),
@@ -151,8 +154,8 @@ func (e *Engine) newBitplaneBuffers() *Bitplane {
 // retained.  It returns an error wrapping ErrBitplaneIneligible when the new
 // configuration does not qualify.
 func (bp *Bitplane) Reset(initial *color.Coloring) error {
-	if initial.Dims() != bp.e.topo.Dims() {
-		panic(fmt.Sprintf("sim: Bitplane.Reset dimension mismatch %v vs %v", initial.Dims(), bp.e.topo.Dims()))
+	if initial.Dims() != bp.e.sub.Dims() {
+		panic(fmt.Sprintf("sim: Bitplane.Reset dimension mismatch %v vs %v", initial.Dims(), bp.e.sub.Dims()))
 	}
 	k, plan, kern, err := bp.e.bitplaneCheck(initial)
 	if err != nil {
@@ -283,8 +286,8 @@ func (bp *Bitplane) finishStep() int {
 // Unpack writes the current configuration into dst, which must have the
 // engine's dimensions.
 func (bp *Bitplane) Unpack(dst *color.Coloring) {
-	if dst.Dims() != bp.e.topo.Dims() {
-		panic(fmt.Sprintf("sim: Bitplane.Unpack dimension mismatch %v vs %v", dst.Dims(), bp.e.topo.Dims()))
+	if dst.Dims() != bp.e.sub.Dims() {
+		panic(fmt.Sprintf("sim: Bitplane.Unpack dimension mismatch %v vs %v", dst.Dims(), bp.e.sub.Dims()))
 	}
 	color.UnpackPlanes(bp.st.Cur[:bp.planes], dst.Cells())
 }
@@ -452,7 +455,7 @@ func (e *Engine) runBitplane(ctx context.Context, st *runState, initial *color.C
 		return nil, err
 	}
 	bp.DetectCycles(opt.DetectCycles)
-	d := e.topo.Dims()
+	d := e.sub.Dims()
 	res := &Result{MonotoneTarget: true, Workers: workers, Kernel: KernelBitplane}
 	trackTarget := opt.Target != color.None
 	if trackTarget {

@@ -1,5 +1,6 @@
 // Package sim contains the synchronous simulation engine that evolves a
-// colored torus under a local recoloring rule.
+// colored substrate — one of the paper's three tori, or any general graph
+// exposed through the Substrate seam — under a local recoloring rule.
 //
 // The engine follows the paper's execution model (Section III.D): the system
 // is synchronous, every vertex reads its neighbors' colors at time t and all
@@ -23,12 +24,15 @@
 // constants.
 //
 // The engine supports fixed-point and period-2-cycle detection,
-// monotonicity tracking with respect to a target color, and per-vertex
-// recoloring-time traces (the data behind the paper's Figures 5 and 6).
+// monotonicity tracking with respect to a target color, per-vertex
+// recoloring-time traces (the data behind the paper's Figures 5 and 6),
+// and a time-varying run mode (Options.TimeVarying) that masks link
+// availability per round, the extension the paper's conclusions call for.
 package sim
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"reflect"
 	"runtime"
@@ -38,6 +42,16 @@ import (
 	"repro/internal/grid"
 	"repro/internal/rules"
 )
+
+// ErrTimeVaryingSweepOnly is the error (wrapped) returned by time-varying
+// runs that force the frontier or bitplane kernel.  Both tiers assume a
+// vertex can only change when a neighbor's color changed in the previous
+// round; under link churn a vertex's reduced neighborhood — and therefore
+// its next color — can change with no color changing anywhere, so the
+// incremental tiers would skip vertices that must be re-evaluated
+// (demonstrated by TestTimeVaryingFrontierWouldBeUnsound).  Time-varying
+// runs always sweep every vertex every round.
+var ErrTimeVaryingSweepOnly = errors.New("sim: time-varying runs require full-sweep semantics")
 
 // Kernel identifies a stepping tier of the engine.
 type Kernel int
@@ -82,6 +96,63 @@ func (k Kernel) String() string {
 	}
 }
 
+// Substrate is the minimal seam between an interaction substrate and the
+// engine: a vertex layout (grid.Dims) that sizes colorings, a CSR adjacency
+// index with forward and reverse neighbor lists, a display name for errors
+// and tables, and a default round budget.  The three tori satisfy it through
+// an internal adapter over grid.Topology (NewEngine); any other substrate —
+// internal/graphs.Graph is the shipped example — implements it directly and
+// runs through NewEngineOn, inheriting the frontier, parallel-stripe and
+// pooled-buffer tiers for free.  The bitplane tier additionally requires a
+// shift-regular torus and stays behind the existing ErrBitplaneIneligible
+// probing.
+//
+// Implementations must be immutable for the lifetime of the engines built
+// over them: the engine snapshots CSR() once at construction.
+type Substrate interface {
+	// Dims returns the vertex layout colorings must carry.  Torus substrates
+	// use their lattice dimensions; substrates without a lattice use the
+	// degenerate 1×n layout (see grid.BuildCSRAdj).
+	Dims() grid.Dims
+	// Name identifies the substrate in errors and experiment tables.
+	Name() string
+	// CSR returns the adjacency index the engine iterates over.
+	CSR() *grid.CSR
+	// DefaultMaxRounds returns the round budget used when Options.MaxRounds
+	// is zero, generous enough that non-convergence within it means "does
+	// not converge", not "budget too small".
+	DefaultMaxRounds() int
+}
+
+// torusSubstrate adapts a grid.Topology to the Substrate seam.
+type torusSubstrate struct{ topo grid.Topology }
+
+func (s torusSubstrate) Dims() grid.Dims       { return s.topo.Dims() }
+func (s torusSubstrate) Name() string          { return s.topo.Name() }
+func (s torusSubstrate) CSR() *grid.CSR        { return grid.CSROf(s.topo) }
+func (s torusSubstrate) DefaultMaxRounds() int { return DefaultMaxRounds(s.topo.Dims()) }
+
+// Availability decides which links are usable in a given round; it is the
+// contract behind Options.TimeVarying.  It must be deterministic in
+// (round, u, v) so that runs are reproducible; the engine always passes the
+// endpoints with u < v, so implementations need not re-normalize.  The
+// availability models of internal/tvg implement it.
+type Availability interface {
+	// Available reports whether the link {u, v} can carry information
+	// during the given round (1-based).
+	Available(round, u, v int) bool
+}
+
+// staticAvailability reports whether the model declares itself equivalent
+// to a fully available static network (via an optional Static() method, as
+// the internal/tvg models provide).  Only then may the engine treat a
+// zero-change round as a fixed point: on an intermittent network the
+// configuration can change again when links return.
+func staticAvailability(a Availability) bool {
+	s, ok := a.(interface{ Static() bool })
+	return ok && s.Static()
+}
+
 // Options controls a simulation run.
 type Options struct {
 	// MaxRounds bounds the number of synchronous rounds.  Zero selects
@@ -109,6 +180,21 @@ type Options struct {
 	// Workers).  All tiers are bit-identical; the knob exists for
 	// differential tests, benchmarks and callers that know their workload.
 	Kernel Kernel
+	// TimeVarying, when non-nil, masks link availability per round: every
+	// round r each vertex reads only the neighbors u whose link is
+	// Available(r, min(v,u), max(v,u)), and applies the rule to that reduced
+	// multiset when at least two neighbors are reachable (with fewer it
+	// keeps its color — an SMP-style vertex cannot form a majority from a
+	// single opinion).  Time-varying runs always use full-sweep semantics:
+	// the dirty frontier and the bitplane tier are unsound here, because a
+	// vertex's input can change through link churn alone, without any
+	// neighbor changing color (see ErrTimeVaryingSweepOnly).  A round that
+	// changes nothing is a fixed point only when the model declares itself
+	// static; otherwise the run continues, since returning links can wake
+	// the dynamics again — and for the same reason DetectCycles is inert
+	// under a non-static model (a configuration repeating two rounds apart
+	// under churny link draws is not a cycle).
+	TimeVarying Availability
 	// Target, when non-zero, is the color whose spread is tracked: the
 	// engine records per-vertex first-reach times and whether the
 	// target-colored set evolved monotonically.
@@ -240,13 +326,17 @@ func (r *Result) TimesMatrix(d grid.Dims) [][]int {
 	return out
 }
 
-// Engine evolves colorings over a fixed topology under a fixed rule.  Its
+// Engine evolves colorings over a fixed substrate under a fixed rule.  Its
 // configuration is immutable after construction and an Engine is safe for
 // concurrent use by multiple goroutines running independent simulations; the
 // only mutable state is an internal sync.Pool of per-run working buffers,
 // which is what makes repeated runs (and Session batches in the public
 // dynmon package) allocation-free in steady state.
 type Engine struct {
+	// sub is the substrate seam the engine steps over.
+	sub Substrate
+	// topo is the torus view of the substrate, nil for non-torus substrates;
+	// it gates the bitplane tier (grid.ShiftPlanOf needs a Topology).
 	topo grid.Topology
 	rule rules.Rule
 	// countRule is the rule's counts-based fast path, nil when the rule does
@@ -257,56 +347,98 @@ type Engine struct {
 	// implement rules.BitRule; with a shift-regular topology and a ≤4-color
 	// palette it enables the bitplane tier.
 	bitRule rules.BitRule
-	// csr is the topology's shared CSR adjacency index: the four neighbor
-	// ids of vertex v occupy csr.Neighbors[4v:4v+4], and csr.Rev lists who
-	// must be re-evaluated when v changes.  Built once per topology and
-	// shared across engines (grid.CSROf).
+	// csr is the substrate's CSR adjacency index, snapshotted once at
+	// construction: csr.Neighbors frames each vertex's forward neighbors,
+	// and csr.Rev lists who must be re-evaluated when v changes.
 	csr *grid.CSR
+	// deg4 marks a dense 4-regular index (all tori), which licenses the
+	// unrolled degree-4 inner loops; irregular substrates take the generic
+	// offset-framed loops instead.
+	deg4 bool
+	// maxDeg sizes the per-run neighbor scratch buffers.
+	maxDeg int
 	// pool recycles per-run state (double buffers, frontier queues) across
 	// runs.
 	pool sync.Pool
 }
 
-// NewEngine builds an engine for the given topology and rule.
+// NewEngine builds an engine for the given torus topology and rule.  It is
+// NewEngineOn over the topology's substrate adapter.
 func NewEngine(topo grid.Topology, rule rules.Rule) *Engine {
-	e := &Engine{topo: topo, rule: rule, csr: grid.CSROf(topo)}
+	return NewEngineOn(torusSubstrate{topo: topo}, rule)
+}
+
+// NewEngineOn builds an engine over an arbitrary substrate — the
+// general-graph entry point.  The substrate's CSR index is snapshotted here;
+// mutating the underlying graph afterwards does not affect the engine.
+func NewEngineOn(sub Substrate, rule rules.Rule) *Engine {
+	csr := sub.CSR()
+	e := &Engine{
+		sub:    sub,
+		rule:   rule,
+		csr:    csr,
+		deg4:   csr.Uniform() == grid.Degree,
+		maxDeg: csr.MaxDegree(),
+	}
+	if ts, ok := sub.(torusSubstrate); ok {
+		e.topo = ts.topo
+	}
 	e.countRule, _ = rule.(rules.CountRule)
 	e.bitRule, _ = rule.(rules.BitRule)
 	return e
 }
 
-// engineKey identifies a cached engine by its topology and rule values.
+// engineKey identifies a cached engine by its substrate and rule values.
 type engineKey struct {
-	topo grid.Topology
+	sub  Substrate
 	rule rules.Rule
 }
 
-// engineCache memoizes engines per (topology, rule) value, mirroring
+// engineCache memoizes engines per (substrate, rule) value, mirroring
 // grid.CSROf: engines are immutable and safe for concurrent use, so sharing
 // one lets repeated runs over the same system — the analysis sweeps build
 // thousands of them — reuse the pooled run buffers instead of paying
 // construction and warm-up allocations per point.
 var engineCache sync.Map // engineKey -> *Engine
 
-// EngineOf returns a process-cached engine for the topology and rule,
+// EngineOf returns a process-cached engine for the torus topology and rule,
 // building it on first use.  Values whose dynamic types are not comparable
 // cannot be cache keys and get a fresh engine per call.  Cached engines are
 // retained for the life of the process; callers that must bound memory over
 // unbounded topology streams should use NewEngine directly.
 func EngineOf(topo grid.Topology, rule rules.Rule) *Engine {
-	if !reflect.TypeOf(topo).Comparable() || !reflect.TypeOf(rule).Comparable() {
+	if !reflect.TypeOf(topo).Comparable() {
 		return NewEngine(topo, rule)
 	}
-	key := engineKey{topo: topo, rule: rule}
+	return EngineOn(torusSubstrate{topo: topo}, rule)
+}
+
+// EngineOn is EngineOf for arbitrary substrates: a process-cached engine
+// per (substrate, rule) value.  The cache retains its entries for the life
+// of the process, so it suits substrate values that genuinely repeat (small
+// comparable structs, long-lived shared views).  Identity-keyed substrates
+// that are created and dropped in volume would leak their entries — such
+// callers should use NewEngineOn, or memoize engines on the substrate
+// itself as internal/graphs does (graphs.View.EngineFor), tying the
+// engine's lifetime to the substrate's.
+func EngineOn(sub Substrate, rule rules.Rule) *Engine {
+	if !reflect.TypeOf(sub).Comparable() || !reflect.TypeOf(rule).Comparable() {
+		return NewEngineOn(sub, rule)
+	}
+	key := engineKey{sub: sub, rule: rule}
 	if cached, ok := engineCache.Load(key); ok {
 		return cached.(*Engine)
 	}
-	e := NewEngine(topo, rule)
+	e := NewEngineOn(sub, rule)
 	cached, _ := engineCache.LoadOrStore(key, e)
 	return cached.(*Engine)
 }
 
-// Topology returns the engine's topology.
+// Substrate returns the seam the engine was built over.
+func (e *Engine) Substrate() Substrate { return e.sub }
+
+// Topology returns the engine's torus topology, or nil when the engine runs
+// over a non-torus substrate.
 func (e *Engine) Topology() grid.Topology { return e.topo }
 
 // Rule returns the engine's rule.
@@ -325,6 +457,10 @@ type runState struct {
 	bp        *Bitplane
 	wg        sync.WaitGroup
 	stripeBuf []stripeTask
+	// scratch backs the sequential generic and time-varying steppers'
+	// neighbor gathering, sized to the substrate's maximum degree so
+	// steady-state stepping allocates nothing.
+	scratch []color.Color
 }
 
 // frontier returns the state's frontier stepper, creating it on first use.
@@ -350,10 +486,11 @@ func (e *Engine) getState(fresh bool) *runState {
 			return v.(*runState)
 		}
 	}
-	d := e.topo.Dims()
+	d := e.sub.Dims()
 	return &runState{
-		cur:  color.NewColoring(d, color.None),
-		next: color.NewColoring(d, color.None),
+		cur:     color.NewColoring(d, color.None),
+		next:    color.NewColoring(d, color.None),
+		scratch: make([]color.Color, 0, e.maxDeg),
 	}
 }
 
@@ -364,8 +501,19 @@ func (e *Engine) putState(st *runState, fresh bool) {
 }
 
 // stepRange applies one synchronous round to vertices [lo, hi) reading from
-// cur and writing to next, and returns how many of them changed.
-func (e *Engine) stepRange(cur, next []color.Color, lo, hi int) int {
+// cur and writing to next, and returns how many of them changed.  scratch
+// backs the generic path's neighbor gathering (capacity >= the substrate's
+// maximum degree); the dense 4-regular path ignores it.
+func (e *Engine) stepRange(cur, next []color.Color, lo, hi int, scratch []color.Color) int {
+	if e.deg4 {
+		return e.stepRange4(cur, next, lo, hi)
+	}
+	return e.stepRangeGeneric(cur, next, lo, hi, scratch)
+}
+
+// stepRange4 is the unrolled inner loop for dense 4-regular indexes — the
+// hot path of every torus run, kept free of per-vertex offset loads.
+func (e *Engine) stepRange4(cur, next []color.Color, lo, hi int) int {
 	changed := 0
 	fwd := e.csr.Neighbors
 	if cr := e.countRule; cr != nil {
@@ -400,14 +548,94 @@ func (e *Engine) stepRange(cur, next []color.Color, lo, hi int) int {
 	return changed
 }
 
+// stepRangeGeneric is the variable-degree inner loop: each vertex's
+// neighbors are framed by the CSR offsets, tallied through the counts fast
+// path when the multiset fits a Counts vector exactly, and gathered into
+// scratch for the rule's slice path otherwise.
+func (e *Engine) stepRangeGeneric(cur, next []color.Color, lo, hi int, scratch []color.Color) int {
+	changed := 0
+	fwd, off := e.csr.Neighbors, e.csr.Off
+	cr := e.countRule
+	for v := lo; v < hi; v++ {
+		row := fwd[off[v]:off[v+1]]
+		cv := cur[v]
+		var nc color.Color
+		fits := false
+		if cr != nil {
+			var cs rules.Counts
+			fits = true
+			for _, u := range row {
+				if !cs.AddOK(cur[u]) {
+					fits = false
+					break
+				}
+			}
+			if fits {
+				nc = cr.NextFromCounts(cv, cs)
+			}
+		}
+		if !fits {
+			scratch = scratch[:0]
+			for _, u := range row {
+				scratch = append(scratch, cur[u])
+			}
+			nc = e.rule.Next(cv, scratch)
+		}
+		next[v] = nc
+		if nc != cv {
+			changed++
+		}
+	}
+	return changed
+}
+
+// stepRangeTV is the time-varying inner loop: vertex v reads only the
+// neighbors whose link is available this round, and applies the rule to the
+// reduced multiset when at least two neighbors are reachable (with fewer it
+// keeps its color).  It always uses the rule's slice path, the reference
+// semantics every other path is tested against, because the reduced
+// neighborhood is not the multiset CountRule implementations were verified
+// on.
+func (e *Engine) stepRangeTV(round int, avail Availability, cur, next []color.Color, lo, hi int, scratch []color.Color) int {
+	changed := 0
+	fwd, off := e.csr.Neighbors, e.csr.Off
+	for v := lo; v < hi; v++ {
+		scratch = scratch[:0]
+		for _, u := range fwd[off[v]:off[v+1]] {
+			a, b := v, int(u)
+			if a > b {
+				a, b = b, a
+			}
+			if avail.Available(round, a, b) {
+				scratch = append(scratch, cur[u])
+			}
+		}
+		cv := cur[v]
+		nc := cv
+		if len(scratch) >= 2 {
+			nc = e.rule.Next(cv, scratch)
+		}
+		next[v] = nc
+		if nc != cv {
+			changed++
+		}
+	}
+	return changed
+}
+
 // Step applies one synchronous round, reading from cur and writing into
 // next.  It returns the number of vertices that changed color.  cur and next
 // must have the engine's dimensions and must not alias.
 func (e *Engine) Step(cur, next *color.Coloring) int {
-	if cur.Dims() != e.topo.Dims() || next.Dims() != e.topo.Dims() {
-		panic(fmt.Sprintf("sim: Step dimension mismatch (%v, %v) vs %v", cur.Dims(), next.Dims(), e.topo.Dims()))
+	if cur.Dims() != e.sub.Dims() || next.Dims() != e.sub.Dims() {
+		panic(fmt.Sprintf("sim: Step dimension mismatch (%v, %v) vs %v", cur.Dims(), next.Dims(), e.sub.Dims()))
 	}
-	return e.stepRange(cur.Cells(), next.Cells(), 0, cur.N())
+	if e.deg4 {
+		return e.stepRange4(cur.Cells(), next.Cells(), 0, cur.N())
+	}
+	st := e.getState(false)
+	defer e.putState(st, false)
+	return e.stepRangeGeneric(cur.Cells(), next.Cells(), 0, cur.N(), st.scratch)
 }
 
 // Run evolves the initial coloring under the engine's rule until a stop
@@ -434,18 +662,25 @@ func (e *Engine) Run(initial *color.Coloring, opt Options) *Result {
 // KernelBitplane that does not qualify returns a nil Result and an error
 // wrapping ErrBitplaneIneligible.
 func (e *Engine) RunContext(ctx context.Context, initial *color.Coloring, opt Options) (*Result, error) {
-	d := e.topo.Dims()
+	d := e.sub.Dims()
 	if initial.Dims() != d {
 		panic(fmt.Sprintf("sim: Run dimension mismatch %v vs %v", initial.Dims(), d))
 	}
 	maxRounds := opt.MaxRounds
 	if maxRounds <= 0 {
-		maxRounds = DefaultMaxRounds(d)
+		maxRounds = e.sub.DefaultMaxRounds()
 	}
 	workers := opt.EffectiveWorkers(d.N())
 
 	st := e.getState(opt.FreshBuffers)
 	defer e.putState(st, opt.FreshBuffers)
+
+	switch opt.Kernel {
+	case KernelBitplane, KernelFrontier:
+		if opt.TimeVarying != nil {
+			return nil, fmt.Errorf("%w: kernel %v re-evaluates only vertices whose neighborhood changed color, but link churn can change a vertex's input without any color changing", ErrTimeVaryingSweepOnly, opt.Kernel)
+		}
+	}
 
 	switch opt.Kernel {
 	case KernelBitplane:
@@ -470,17 +705,20 @@ func (e *Engine) RunContext(ctx context.Context, initial *color.Coloring, opt Op
 		return nil, fmt.Errorf("sim: unknown kernel %v", opt.Kernel)
 	}
 
-	// Automatic selection.  The bitplane tier wins whenever it applies and
-	// the run does not need a scalar view of every round (observers and
-	// history would force an unpack per round, erasing its advantage);
-	// FullSweep keeps its contract as the oracle stepper.
-	if !opt.FullSweep && !opt.RecordHistory && len(opt.Observers) == 0 {
-		if k, plan, kern, err := e.bitplaneCheck(initial); err == nil {
-			return e.runBitplane(ctx, st, initial, opt, maxRounds, workers, false, k, plan, kern)
+	// Automatic selection.  Time-varying runs are pinned to the full-sweep
+	// steppers (see Options.TimeVarying).  Otherwise the bitplane tier wins
+	// whenever it applies and the run does not need a scalar view of every
+	// round (observers and history would force an unpack per round, erasing
+	// its advantage); FullSweep keeps its contract as the oracle stepper.
+	if opt.TimeVarying == nil {
+		if !opt.FullSweep && !opt.RecordHistory && len(opt.Observers) == 0 {
+			if k, plan, kern, err := e.bitplaneCheck(initial); err == nil {
+				return e.runBitplane(ctx, st, initial, opt, maxRounds, workers, false, k, plan, kern)
+			}
 		}
-	}
-	if workers == 1 && !opt.FullSweep {
-		return e.runFrontier(ctx, st, initial, opt, maxRounds)
+		if workers == 1 && !opt.FullSweep {
+			return e.runFrontier(ctx, st, initial, opt, maxRounds)
+		}
 	}
 	kernel := KernelSweep
 	if workers > 1 {
@@ -495,7 +733,13 @@ func (e *Engine) RunContext(ctx context.Context, initial *color.Coloring, opt Op
 // the tier label to record: a forced KernelParallel reports as parallel even
 // when the effective worker count degenerates to one.
 func (e *Engine) runSweep(ctx context.Context, st *runState, initial *color.Coloring, opt Options, maxRounds, workers int, kernel Kernel) (*Result, error) {
-	d := e.topo.Dims()
+	d := e.sub.Dims()
+	// A time-varying model that is declaratively static (always-on) keeps
+	// the static fixed-point semantics; a genuinely intermittent one must
+	// keep sweeping after a zero-change round, because returning links can
+	// wake the dynamics again.
+	tv := opt.TimeVarying
+	fixedPointStops := tv == nil || staticAvailability(tv)
 	cur := st.cur
 	cur.CopyFrom(initial)
 	next := st.next
@@ -525,10 +769,15 @@ func (e *Engine) runSweep(ctx context.Context, st *runState, initial *color.Colo
 			return finishAborted(res, cur, opt), err
 		}
 		var changed int
-		if workers > 1 {
+		switch {
+		case tv != nil && workers > 1:
+			changed = e.stepParallelTV(round, tv, cur.Cells(), next.Cells(), workers, st)
+		case tv != nil:
+			changed = e.stepRangeTV(round, tv, cur.Cells(), next.Cells(), 0, d.N(), st.scratch)
+		case workers > 1:
 			changed = e.stepParallel(cur.Cells(), next.Cells(), workers, st)
-		} else {
-			changed = e.stepRange(cur.Cells(), next.Cells(), 0, d.N())
+		default:
+			changed = e.stepRange(cur.Cells(), next.Cells(), 0, d.N(), st.scratch)
 		}
 		res.Rounds = round
 		res.ChangesPerRound = append(res.ChangesPerRound, changed)
@@ -551,7 +800,7 @@ func (e *Engine) runSweep(ctx context.Context, st *runState, initial *color.Colo
 			o.OnRound(round, next)
 		}
 
-		if changed == 0 {
+		if changed == 0 && fixedPointStops {
 			res.FixedPoint = true
 			cur, next = next, cur
 			break
@@ -562,7 +811,11 @@ func (e *Engine) runSweep(ctx context.Context, st *runState, initial *color.Colo
 				break
 			}
 		}
-		if opt.DetectCycles {
+		// Period-2 detection shares the fixed-point gating: on a non-static
+		// network, matching the configuration of two rounds ago proves
+		// nothing — a quiet spell under bad link draws is not a cycle, and
+		// returning links can change the dynamics' course.
+		if opt.DetectCycles && fixedPointStops {
 			if next.Equal(prevPrev) {
 				res.Cycle = true
 				cur, next = next, cur

@@ -62,19 +62,21 @@ type Frontier struct {
 	prevChanged int
 	cycle       bool
 	round       int
-	// scratch backs the slice-path rule invocation for rules without the
-	// counts fast path, kept here so Step stays allocation-free.
-	scratch [grid.Degree]color.Color
+	// scratch4 backs the slice-path rule invocation on dense 4-regular
+	// substrates; scratch backs it (and the counts-overflow fallback) on
+	// irregular ones.  Both live here so Step stays allocation-free.
+	scratch4 [grid.Degree]color.Color
+	scratch  []color.Color
 }
 
 // newFrontier allocates a frontier with a blank configuration; callers must
 // Reset before stepping.  Engines recycle frontiers through their run-state
 // pool, so this runs once per pooled state, not once per run.
 func newFrontier(e *Engine) *Frontier {
-	n := e.topo.Dims().N()
+	n := e.sub.Dims().N()
 	return &Frontier{
 		e:         e,
-		cfg:       color.NewColoring(e.topo.Dims(), color.None),
+		cfg:       color.NewColoring(e.sub.Dims(), color.None),
 		epoch:     make([]int32, n),
 		queue:     make([]int32, 0, n),
 		nextQueue: make([]int32, 0, n),
@@ -83,6 +85,7 @@ func newFrontier(e *Engine) *Frontier {
 		chNew:     make([]color.Color, 0, n),
 		lastRound: make([]int32, n),
 		lastOld:   make([]color.Color, n),
+		scratch:   make([]color.Color, 0, e.maxDeg),
 	}
 }
 
@@ -190,7 +193,8 @@ func (f *Frontier) Step() int {
 
 	// Evaluate the frontier against pre-round state, journaling changes.
 	f.chV, f.chOld, f.chNew = f.chV[:0], f.chOld[:0], f.chNew[:0]
-	if cr := f.e.countRule; cr != nil {
+	switch cr := f.e.countRule; {
+	case f.e.deg4 && cr != nil:
 		for _, v := range f.queue {
 			base := int(v) * grid.Degree
 			var cs rules.Counts
@@ -205,16 +209,52 @@ func (f *Frontier) Step() int {
 				f.chNew = append(f.chNew, nc)
 			}
 		}
-	} else {
+	case f.e.deg4:
 		rule := f.e.rule
 		for _, v := range f.queue {
 			base := int(v) * grid.Degree
-			f.scratch[0] = cells[fwd[base]]
-			f.scratch[1] = cells[fwd[base+1]]
-			f.scratch[2] = cells[fwd[base+2]]
-			f.scratch[3] = cells[fwd[base+3]]
+			f.scratch4[0] = cells[fwd[base]]
+			f.scratch4[1] = cells[fwd[base+1]]
+			f.scratch4[2] = cells[fwd[base+2]]
+			f.scratch4[3] = cells[fwd[base+3]]
 			cur := cells[v]
-			if nc := rule.Next(cur, f.scratch[:]); nc != cur {
+			if nc := rule.Next(cur, f.scratch4[:]); nc != cur {
+				f.chV = append(f.chV, v)
+				f.chOld = append(f.chOld, cur)
+				f.chNew = append(f.chNew, nc)
+			}
+		}
+	default:
+		// Irregular substrate: offset-framed rows, counts fast path when
+		// the multiset fits a Counts vector exactly, slice path otherwise.
+		off := f.e.csr.Off
+		rule := f.e.rule
+		for _, v := range f.queue {
+			row := fwd[off[v]:off[v+1]]
+			cur := cells[v]
+			var nc color.Color
+			fits := false
+			if cr != nil {
+				var cs rules.Counts
+				fits = true
+				for _, u := range row {
+					if !cs.AddOK(cells[u]) {
+						fits = false
+						break
+					}
+				}
+				if fits {
+					nc = cr.NextFromCounts(cur, cs)
+				}
+			}
+			if !fits {
+				scratch := f.scratch[:0]
+				for _, u := range row {
+					scratch = append(scratch, cells[u])
+				}
+				nc = rule.Next(cur, scratch)
+			}
+			if nc != cur {
 				f.chV = append(f.chV, v)
 				f.chOld = append(f.chOld, cur)
 				f.chNew = append(f.chNew, nc)
@@ -311,7 +351,7 @@ func (f *Frontier) seedFromBitplane(bp *Bitplane) {
 // the same order — with all per-round bookkeeping done on the change journal
 // instead of the full lattice.
 func (e *Engine) runFrontier(ctx context.Context, st *runState, initial *color.Coloring, opt Options, maxRounds int) (*Result, error) {
-	d := e.topo.Dims()
+	d := e.sub.Dims()
 	st.frontier(e).Reset(initial)
 
 	res := &Result{MonotoneTarget: true, Workers: 1, Kernel: KernelFrontier}

@@ -12,8 +12,8 @@ import (
 // it exists so benchmarks and throughput experiments can drive the parallel
 // path without going through Run.
 func (e *Engine) StepParallel(cur, next *color.Coloring, workers int) int {
-	if cur.Dims() != e.topo.Dims() || next.Dims() != e.topo.Dims() {
-		panic(fmt.Sprintf("sim: StepParallel dimension mismatch (%v, %v) vs %v", cur.Dims(), next.Dims(), e.topo.Dims()))
+	if cur.Dims() != e.sub.Dims() || next.Dims() != e.sub.Dims() {
+		panic(fmt.Sprintf("sim: StepParallel dimension mismatch (%v, %v) vs %v", cur.Dims(), next.Dims(), e.sub.Dims()))
 	}
 	if workers <= 0 {
 		workers = 1
@@ -41,10 +41,33 @@ func (e *Engine) stepParallel(cur, next []color.Color, workers int, st *runState
 		workers = n
 	}
 	if workers <= 1 {
-		return e.stepRange(cur, next, 0, n)
+		return e.stepRange(cur, next, 0, n, st.scratch)
 	}
 	done := st.stripeAcross(n, workers, func(t *stripeTask, lo, hi int) {
 		*t = stripeTask{run: runSweepTask, wg: &st.wg, e: e, cur: cur, next: next, lo: lo, hi: hi}
+	})
+	total := 0
+	for i := range done {
+		total += done[i].changed
+	}
+	return total
+}
+
+// stepParallelTV is stepParallel for time-varying rounds: the same striped
+// partitioning, with every stripe evaluating the round's availability mask.
+// Availability models are required to be deterministic pure functions of
+// (round, u, v), so stripes read them concurrently without coordination and
+// the result is bit-identical to the sequential time-varying sweep.
+func (e *Engine) stepParallelTV(round int, avail Availability, cur, next []color.Color, workers int, st *runState) int {
+	n := len(cur)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return e.stepRangeTV(round, avail, cur, next, 0, n, st.scratch)
+	}
+	done := st.stripeAcross(n, workers, func(t *stripeTask, lo, hi int) {
+		*t = stripeTask{run: runSweepTVTask, wg: &st.wg, e: e, cur: cur, next: next, lo: lo, hi: hi, round: round, avail: avail}
 	})
 	total := 0
 	for i := range done {

@@ -25,7 +25,7 @@ func TestParallelStepMatchesSequential(t *testing.T) {
 		cur := randomColoring(42, 17, 23, 5)
 		seqNext := color.NewColoring(topo.Dims(), color.None)
 		parNext := color.NewColoring(topo.Dims(), color.None)
-		seqChanged := eng.stepRange(cur.Cells(), seqNext.Cells(), 0, cur.N())
+		seqChanged := eng.stepRange(cur.Cells(), seqNext.Cells(), 0, cur.N(), nil)
 		for _, workers := range []int{2, 3, 4, 8, 64, 1000} {
 			parChanged := eng.StepParallel(cur, parNext, workers)
 			if parChanged != seqChanged {
@@ -81,7 +81,7 @@ func TestParallelWithMoreWorkersThanVertices(t *testing.T) {
 	// Must not panic or deadlock.
 	eng.StepParallel(cur, next, 64)
 	seqNext := color.NewColoring(topo.Dims(), color.None)
-	eng.stepRange(cur.Cells(), seqNext.Cells(), 0, cur.N())
+	eng.stepRange(cur.Cells(), seqNext.Cells(), 0, cur.N(), nil)
 	if !next.Equal(seqNext) {
 		t.Error("oversubscribed parallel step differs from sequential")
 	}

@@ -27,12 +27,37 @@ type stripeTask struct {
 	bst  *rules.BitState
 	kern rules.BitKernel
 
+	// round and avail parameterize the time-varying stripe; scratch backs
+	// the generic and time-varying stripes' neighbor gathering.  scratch is
+	// owned by the task slot and survives across steps (stripeAcross's fill
+	// callbacks preserve it), so steady-state parallel stepping stays
+	// allocation-free on irregular substrates too.
+	round   int
+	avail   Availability
+	scratch []color.Color
+
 	lo, hi  int
 	changed int
 }
 
 func (t *stripeTask) runSweep() {
-	t.changed = t.e.stepRange(t.cur, t.next, t.lo, t.hi)
+	t.growScratch()
+	t.changed = t.e.stepRange(t.cur, t.next, t.lo, t.hi, t.scratch)
+}
+
+func (t *stripeTask) runSweepTV() {
+	t.growScratch()
+	t.changed = t.e.stepRangeTV(t.round, t.avail, t.cur, t.next, t.lo, t.hi, t.scratch)
+}
+
+// growScratch sizes the task's scratch buffer to the substrate's maximum
+// degree.  It allocates at most once per task slot (the slot keeps the
+// buffer across steps); the WaitGroup handoff orders the write against the
+// submitter's next reuse of the slot.
+func (t *stripeTask) growScratch() {
+	if cap(t.scratch) < t.e.maxDeg {
+		t.scratch = make([]color.Color, 0, t.e.maxDeg)
+	}
 }
 
 func (t *stripeTask) runBitKernel() {
@@ -43,6 +68,7 @@ func (t *stripeTask) runBitKernel() {
 // allocate, unlike per-step closures or bound method values.
 var (
 	runSweepTask     = (*stripeTask).runSweep
+	runSweepTVTask   = (*stripeTask).runSweepTV
 	runBitKernelTask = (*stripeTask).runBitKernel
 )
 
@@ -101,7 +127,11 @@ func (st *runState) stripeAcross(n, workers int, fill func(t *stripeTask, lo, hi
 		}
 		t := &tasks[count]
 		count++
+		// The task slot owns its scratch buffer across steps; fill callbacks
+		// overwrite the whole struct, so save and restore it here.
+		scratch := t.scratch
 		fill(t, lo, hi)
+		t.scratch = scratch
 	}
 	runStriped(tasks[:count], &st.wg)
 	return tasks[:count]

@@ -1,19 +1,22 @@
-// Package tvg implements the time-varying-graph extension suggested in the
-// paper's conclusions ("such a protocol should be investigated in contexts
-// where graphs are subject to intermittent availability of both links and
-// nodes", citing Casteigts, Flocchini, Quattrociocchi, Santoro).
+// Package tvg provides the link-availability models of the
+// time-varying-graph extension suggested in the paper's conclusions ("such
+// a protocol should be investigated in contexts where graphs are subject to
+// intermittent availability of both links and nodes", citing Casteigts,
+// Flocchini, Quattrociocchi, Santoro).
 //
-// A time-varying torus wraps one of the torus topologies with a per-round
-// link availability model; during a round a vertex only observes the
-// neighbors whose links are currently available, and the SMP condition is
-// evaluated on that reduced multiset.
+// The models implement the sim.Availability seam: a run with
+// sim.Options.TimeVarying set masks link availability per round, so a
+// vertex only observes the neighbors whose links are currently up and the
+// SMP condition is evaluated on that reduced multiset.  The execution
+// itself lives in the simulation engine (the former package-local run loop
+// was deleted in its favor), which forces full-sweep semantics — the dirty
+// frontier is unsound under link churn — and works over every substrate,
+// torus or general graph.  The public entry point is the dynmon package's
+// TimeVarying run option.
 package tvg
 
 import (
-	"repro/internal/color"
-	"repro/internal/grid"
 	"repro/internal/rng"
-	"repro/internal/rules"
 )
 
 // Availability decides which links are usable in a given round.  It must be
@@ -31,6 +34,11 @@ type AlwaysOn struct{}
 
 // Available always returns true.
 func (AlwaysOn) Available(int, int, int) bool { return true }
+
+// Static reports that the model is equivalent to a fully available static
+// network, which lets the engine keep the static fixed-point stop: a round
+// that changes nothing can never change again.
+func (AlwaysOn) Static() bool { return true }
 
 // Bernoulli makes every link independently available with probability P in
 // every round, using a hash of (seed, round, u, v) so that repeated queries
@@ -53,6 +61,10 @@ func (b Bernoulli) Available(round, u, v int) bool {
 	h := rng.New(b.Seed ^ (uint64(round) * 0x9e3779b97f4a7c15) ^ (uint64(u) << 32) ^ uint64(v))
 	return h.Float64() < b.P
 }
+
+// Static reports whether the model degenerates to the fully available
+// static network (P >= 1).
+func (b Bernoulli) Static() bool { return b.P >= 1 }
 
 // NodeFaults wraps another availability model and additionally takes whole
 // vertices offline: when a vertex is down during a round, every link
@@ -92,6 +104,20 @@ func (nf NodeFaults) Available(round, u, v int) bool {
 	return nf.nodeUp(round, u) && nf.nodeUp(round, v) && links.Available(round, u, v)
 }
 
+// Static reports whether the model degenerates to the fully available
+// static network: no node ever fails and the underlying link model is
+// itself static.
+func (nf NodeFaults) Static() bool {
+	if nf.P < 1 {
+		return false
+	}
+	if nf.Links == nil {
+		return true
+	}
+	s, ok := nf.Links.(interface{ Static() bool })
+	return ok && s.Static()
+}
+
 // Periodic disables every link during rounds where (round mod Period) falls
 // below Off; it models synchronized duty-cycling rather than random churn.
 type Periodic struct {
@@ -109,72 +135,5 @@ func (p Periodic) Available(round, _, _ int) bool {
 	return round%p.Period >= p.Off
 }
 
-// Result describes a time-varying simulation run.
-type Result struct {
-	// Rounds executed.
-	Rounds int
-	// Monochromatic reports whether the run ended in the monochromatic
-	// configuration of FinalColor.
-	Monochromatic bool
-	FinalColor    color.Color
-	// Final is the final configuration.
-	Final *color.Coloring
-}
-
-// Run evolves the coloring under the rule on the time-varying torus: each
-// round, every vertex applies the rule to the colors of its currently
-// reachable neighbors only.  Unreachable neighbors are simply dropped from
-// the neighborhood (a vertex with fewer than two reachable neighbors never
-// recolors under SMP-style rules).
-func Run(topo grid.Topology, avail Availability, rule rules.Rule, initial *color.Coloring, maxRounds int) *Result {
-	d := topo.Dims()
-	if maxRounds <= 0 {
-		maxRounds = 6*d.N() + 32
-	}
-	cur := initial.Clone()
-	next := initial.Clone()
-	res := &Result{}
-	var buf [grid.Degree]int
-	scratch := make([]color.Color, 0, grid.Degree)
-	for round := 1; round <= maxRounds; round++ {
-		changed := 0
-		for v := 0; v < d.N(); v++ {
-			scratch = scratch[:0]
-			for _, u := range topo.Neighbors(v, buf[:0]) {
-				a, b := v, u
-				if a > b {
-					a, b = b, a
-				}
-				if avail.Available(round, a, b) {
-					scratch = append(scratch, cur.At(u))
-				}
-			}
-			nc := cur.At(v)
-			if len(scratch) >= 2 {
-				nc = rule.Next(cur.At(v), scratch)
-			}
-			next.Set(v, nc)
-			if nc != cur.At(v) {
-				changed++
-			}
-		}
-		res.Rounds = round
-		cur, next = next, cur
-		if _, mono := cur.IsMonochromatic(); mono {
-			break
-		}
-		if changed == 0 && isAlwaysOn(avail) {
-			// Only a static network is guaranteed to stay at a fixed point;
-			// an intermittent one may change again when links return.
-			break
-		}
-	}
-	res.Final = cur
-	res.FinalColor, res.Monochromatic = cur.IsMonochromatic()
-	return res
-}
-
-func isAlwaysOn(a Availability) bool {
-	_, ok := a.(AlwaysOn)
-	return ok
-}
+// Static reports whether the duty cycle never switches anything off.
+func (p Periodic) Static() bool { return p.Period <= 0 || p.Off <= 0 }

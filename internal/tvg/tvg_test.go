@@ -6,7 +6,9 @@ import (
 	"repro/internal/blocks"
 	"repro/internal/color"
 	"repro/internal/dynamo"
+	"repro/internal/grid"
 	"repro/internal/rules"
+	"repro/internal/sim"
 )
 
 func meshMin(t *testing.T, m, n int) *dynamo.Construction {
@@ -18,10 +20,25 @@ func meshMin(t *testing.T, m, n int) *dynamo.Construction {
 	return c
 }
 
+// tvRun drives a time-varying run through the simulation engine — the
+// execution path that replaced the former package-local loop — with the old
+// loop's semantics: stop at the monochromatic configuration, budget
+// 6·n + 32 when none is given.
+func tvRun(topo grid.Topology, avail Availability, rule rules.Rule, initial *color.Coloring, maxRounds int) *sim.Result {
+	if maxRounds <= 0 {
+		maxRounds = 6*topo.Dims().N() + 32
+	}
+	return sim.Run(topo, rule, initial, sim.Options{
+		TimeVarying:           avail,
+		MaxRounds:             maxRounds,
+		StopWhenMonochromatic: true,
+	})
+}
+
 func TestAlwaysOnMatchesStaticEngine(t *testing.T) {
 	c := meshMin(t, 7, 7)
 	static := dynamo.Verify(c)
-	tv := Run(c.Topology, AlwaysOn{}, rules.SMP{}, c.Coloring, 0)
+	tv := tvRun(c.Topology, AlwaysOn{}, rules.SMP{}, c.Coloring, 0)
 	if !tv.Monochromatic || tv.FinalColor != 1 {
 		t.Fatal("AlwaysOn run should behave like the static simulation")
 	}
@@ -30,6 +47,30 @@ func TestAlwaysOnMatchesStaticEngine(t *testing.T) {
 	}
 	if !tv.Final.Equal(static.Result.Final) {
 		t.Error("final configurations differ")
+	}
+}
+
+func TestStaticDeclarations(t *testing.T) {
+	cases := []struct {
+		name  string
+		model interface{ Static() bool }
+		want  bool
+	}{
+		{"always-on", AlwaysOn{}, true},
+		{"bernoulli-p1", Bernoulli{P: 1}, true},
+		{"bernoulli-p0.9", Bernoulli{P: 0.9}, false},
+		{"periodic-zero", Periodic{}, true},
+		{"periodic-off0", Periodic{Period: 4, Off: 0}, true},
+		{"periodic-duty", Periodic{Period: 4, Off: 2}, false},
+		{"nodefaults-up", NodeFaults{P: 1}, true},
+		{"nodefaults-up-static-links", NodeFaults{P: 1, Links: AlwaysOn{}}, true},
+		{"nodefaults-churn", NodeFaults{P: 0.9}, false},
+		{"nodefaults-churny-links", NodeFaults{P: 1, Links: Bernoulli{P: 0.5}}, false},
+	}
+	for _, tc := range cases {
+		if got := tc.model.Static(); got != tc.want {
+			t.Errorf("%s: Static() = %v, want %v", tc.name, got, tc.want)
+		}
 	}
 }
 
@@ -96,7 +137,7 @@ func TestChurnOutcomeIsMonochromaticOrBlocked(t *testing.T) {
 		t.Fatal("static configuration must be a dynamo")
 	}
 	for _, seed := range []uint64{7, 8, 9} {
-		tv := Run(c.Topology, Bernoulli{P: 0.9, Seed: seed}, rules.SMP{}, c.Coloring, 2000)
+		tv := tvRun(c.Topology, Bernoulli{P: 0.9, Seed: seed}, rules.SMP{}, c.Coloring, 2000)
 		if tv.Monochromatic && tv.FinalColor == 1 {
 			if tv.Rounds < static.Rounds {
 				t.Errorf("seed %d: churn should not speed convergence up (%d vs %d)", seed, tv.Rounds, static.Rounds)
@@ -122,7 +163,7 @@ func TestDynamoSurvivesLightChurn(t *testing.T) {
 	c := meshMin(t, 7, 7)
 	wins := 0
 	for _, seed := range []uint64{1, 2, 3, 4, 5} {
-		tv := Run(c.Topology, Bernoulli{P: 0.99, Seed: seed}, rules.SMP{}, c.Coloring, 5000)
+		tv := tvRun(c.Topology, Bernoulli{P: 0.99, Seed: seed}, rules.SMP{}, c.Coloring, 5000)
 		if tv.Monochromatic && tv.FinalColor == 1 {
 			wins++
 		}
@@ -134,7 +175,7 @@ func TestDynamoSurvivesLightChurn(t *testing.T) {
 
 func TestNoAvailabilityMeansNoProgress(t *testing.T) {
 	c := meshMin(t, 6, 6)
-	tv := Run(c.Topology, Bernoulli{P: 0, Seed: 1}, rules.SMP{}, c.Coloring, 50)
+	tv := tvRun(c.Topology, Bernoulli{P: 0, Seed: 1}, rules.SMP{}, c.Coloring, 50)
 	if tv.Monochromatic {
 		t.Error("with all links down nothing can spread")
 	}
@@ -146,7 +187,7 @@ func TestNoAvailabilityMeansNoProgress(t *testing.T) {
 func TestPeriodicDutyCycleSlowsConvergence(t *testing.T) {
 	c := meshMin(t, 7, 7)
 	static := dynamo.Verify(c)
-	tv := Run(c.Topology, Periodic{Period: 2, Off: 1}, rules.SMP{}, c.Coloring, 500)
+	tv := tvRun(c.Topology, Periodic{Period: 2, Off: 1}, rules.SMP{}, c.Coloring, 500)
 	if !tv.Monochromatic {
 		t.Fatal("a 50% duty cycle should still converge")
 	}
@@ -189,7 +230,7 @@ func TestNodeChurnOutcome(t *testing.T) {
 	// block present.
 	c := meshMin(t, 8, 8)
 	for _, p := range []float64{0.95, 0.85} {
-		res := Run(c.Topology, NodeFaults{P: p, Seed: 21}, rules.SMP{}, c.Coloring, 3000)
+		res := tvRun(c.Topology, NodeFaults{P: p, Seed: 21}, rules.SMP{}, c.Coloring, 3000)
 		if res.Monochromatic && res.FinalColor == 1 {
 			continue
 		}
@@ -209,8 +250,8 @@ func TestNodeChurnOutcome(t *testing.T) {
 func TestRunDoesNotModifyInitial(t *testing.T) {
 	c := meshMin(t, 6, 6)
 	snapshot := c.Coloring.Clone()
-	Run(c.Topology, Bernoulli{P: 0.5, Seed: 3}, rules.SMP{}, c.Coloring, 100)
+	tvRun(c.Topology, Bernoulli{P: 0.5, Seed: 3}, rules.SMP{}, c.Coloring, 100)
 	if !c.Coloring.Equal(snapshot) {
-		t.Error("Run must not modify the initial coloring")
+		t.Error("a run must not modify the initial coloring")
 	}
 }
