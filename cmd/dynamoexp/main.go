@@ -8,14 +8,23 @@
 //	dynamoexp -exp E07        # run a single experiment
 //	dynamoexp -list           # list the experiment index
 //	dynamoexp -exp E09 -csv   # CSV output
+//
+// Beyond the fixed index, -spec runs an ad-hoc experiment described by a
+// spec file (the JSON form of dynmon.FileSpec — the same files
+// cmd/dynamosim runs and emits with -emit-spec) and prints its verification
+// report:
+//
+//	dynamoexp -spec specs/mesh-9x9-minimum.json
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/dynmon"
+	"repro/internal/color"
 )
 
 func main() {
@@ -25,8 +34,14 @@ func main() {
 		csv      = flag.Bool("csv", false, "print tables as CSV")
 		markdown = flag.Bool("markdown", false, "print tables as markdown")
 		outDir   = flag.String("out", "", "also write one file per experiment into this directory")
+		specFile = flag.String("spec", "", "run the ad-hoc experiment described by this spec file and print its report")
 	)
 	flag.Parse()
+
+	if *specFile != "" {
+		runSpec(*specFile)
+		return
+	}
 
 	experiments := dynmon.Experiments()
 	if *list {
@@ -73,4 +88,45 @@ func main() {
 		}
 		fmt.Println()
 	}
+}
+
+// runSpec verifies the system/initial/run triple of a spec file and prints
+// the resulting report — the spec-driven twin of the fixed experiment index.
+func runSpec(file string) {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		fatal(err)
+	}
+	fs, err := dynmon.ParseFileSpec(data)
+	if err != nil {
+		fatal(err)
+	}
+	sys, err := fs.System.New()
+	if err != nil {
+		fatal(err)
+	}
+	target := fs.Run.Target
+	if target == color.None {
+		target = 1
+	}
+	if fs.Initial == nil {
+		fatal(fmt.Errorf("spec %s has no initial section", file))
+	}
+	cons, err := sys.BuildInitial(fs.Initial, target)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(dynmon.Banner(fmt.Sprintf("spec  %s on %s", cons.Name, sys)))
+	res, err := sys.RunSpecced(context.Background(), cons.Coloring, fs.Run)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(sys.ReportFor(cons, res).Summary())
+	fmt.Printf("kernel=%s workers=%d rounds=%d fixed-point=%v cycle=%v\n",
+		res.Kernel, res.Workers, res.Rounds, res.FixedPoint, res.Cycle)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dynamoexp:", err)
+	os.Exit(1)
 }

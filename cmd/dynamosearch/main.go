@@ -8,6 +8,13 @@
 //	dynamosearch -topology mesh -rows 4 -cols 4 -colors 5            # search below the bound
 //	dynamosearch -topology mesh -rows 5 -cols 5 -size 7 -trials 5000 # one specific size
 //	dynamosearch -topology mesh -rows 3 -cols 3 -size 3 -exhaustive  # enumerate placements
+//
+// The system under search can also come from a spec file (a dynmon.Spec, or
+// a dynmon.FileSpec whose system section is used; the search parameters
+// stay on flags), and -emit-spec prints the system spec the flags denote:
+//
+//	dynamosearch -topology mesh -rows 4 -cols 4 -colors 5 -emit-spec > sys.json
+//	dynamosearch -spec sys.json -trials 500
 package main
 
 import (
@@ -22,6 +29,8 @@ import (
 
 func main() {
 	var (
+		specFile   = flag.String("spec", "", "search the system described by this spec file instead of the topology flags")
+		emitSpec   = flag.Bool("emit-spec", false, "print the system spec this invocation denotes and exit")
 		topology   = flag.String("topology", "mesh", "torus topology: "+strings.Join(dynmon.TopologyNames(), ", "))
 		rows       = flag.Int("rows", 4, "number of rows (m)")
 		cols       = flag.Int("cols", 4, "number of columns (n)")
@@ -34,17 +43,42 @@ func main() {
 	)
 	flag.Parse()
 
-	sys, err := dynmon.New(
-		dynmon.WithTopology(*topology, *rows, *cols),
-		dynmon.Colors(*colors),
-	)
+	sysSpec := &dynmon.Spec{
+		Substrate: dynmon.SubstrateSpec{Topology: &dynmon.TopologySpec{Name: *topology, Rows: *rows, Cols: *cols}},
+		Colors:    *colors,
+	}
+	if *specFile != "" {
+		data, err := os.ReadFile(*specFile)
+		if err != nil {
+			fatal(err)
+		}
+		fs, err := dynmon.ParseFileSpec(data)
+		if err != nil {
+			fatal(err)
+		}
+		sysSpec = &fs.System
+	}
+	if *emitSpec {
+		out, err := sysSpec.JSON()
+		if err != nil {
+			fatal(err)
+		}
+		os.Stdout.Write(out)
+		return
+	}
+
+	sys, err := sysSpec.New()
 	if err != nil {
 		fatal(err)
+	}
+	if sys.Topology() == nil {
+		fatal(fmt.Errorf("dynamo search is defined on torus topologies; the spec describes a graph substrate"))
 	}
 	topo := sys.Topology()
 	p := sys.Palette()
 	bound := sys.LowerBound()
-	fmt.Printf("topology=%s size=%dx%d colors=%d paper-bound=%d\n", topo.Name(), *rows, *cols, *colors, bound)
+	d := topo.Dims()
+	fmt.Printf("topology=%s size=%dx%d colors=%d paper-bound=%d\n", topo.Name(), d.Rows, d.Cols, p.K, bound)
 
 	opt := search.Options{Trials: *trials, RequireMonotone: !*anyDynamo, Seed: *seed}
 

@@ -2,7 +2,15 @@
 // of the paper's tori or a general graph — and prints the outcome.  It is a
 // thin CLI over the public repro/dynmon package.
 //
-// Examples:
+// A run is described either by flags or, declaratively, by a spec file (the
+// JSON form of dynmon.FileSpec: system + initial + run).  -emit-spec prints
+// the spec an invocation's flags denote, so any flag run can be frozen into
+// a reproducible file:
+//
+//	dynamosim -topology mesh -rows 9 -cols 9 -colors 5 -config minimum -emit-spec > run.json
+//	dynamosim -spec run.json
+//
+// Flag examples:
 //
 //	dynamosim -topology mesh -rows 9 -cols 9 -colors 5 -config minimum -render
 //	dynamosim -topology cordalis -rows 5 -cols 5 -colors 6 -config minimum -timing
@@ -21,6 +29,13 @@
 // Time-varying runs mask link availability per round on any substrate:
 //
 //	dynamosim -topology mesh -rows 9 -cols 9 -config minimum -availability 0.9 -max-rounds 3000
+//
+// Long runs migrate across processes through checkpoints: -checkpoint-after
+// streams the run, writes a checkpoint at that round and exits; -resume
+// continues it bit-identically to an uninterrupted run.
+//
+//	dynamosim -topology mesh -rows 16 -cols 16 -config minimum -checkpoint-after 5 -checkpoint cp.json
+//	dynamosim -resume cp.json
 package main
 
 import (
@@ -32,16 +47,16 @@ import (
 
 	"repro/dynmon"
 	"repro/internal/color"
-	"repro/internal/dynamo"
-	"repro/internal/grid"
 )
 
 func main() {
 	var (
+		specFile  = flag.String("spec", "", "run the spec file (JSON dynmon.FileSpec) instead of assembling one from flags")
+		emitSpec  = flag.Bool("emit-spec", false, "print the spec this invocation denotes and exit")
 		topology  = flag.String("topology", "mesh", "torus topology: "+strings.Join(dynmon.TopologyNames(), ", "))
 		rows      = flag.Int("rows", 9, "number of rows (m)")
 		cols      = flag.Int("cols", 9, "number of columns (n)")
-		graphKind = flag.String("graph", "", "general-graph substrate instead of a torus: ba (Barabási–Albert), ws (Watts–Strogatz), er (Erdős–Rényi)")
+		graphKind = flag.String("graph", "", "general-graph substrate instead of a torus: ba (Barabási–Albert), ws (Watts–Strogatz), er (Erdős–Rényi), or any registered generator name")
 		graphN    = flag.Int("graph-n", 400, "graph vertex count")
 		graphM    = flag.Int("graph-m", 2, "Barabási–Albert attachments per vertex")
 		graphK    = flag.Int("graph-k", 4, "Watts–Strogatz ring degree (even)")
@@ -58,29 +73,11 @@ func main() {
 		animate   = flag.Bool("animate", false, "render the configuration after every round (tori only)")
 		timing    = flag.Bool("timing", false, "print the per-vertex recoloring-time matrix (Figures 5/6 format, tori only)")
 		timeout   = flag.Duration("timeout", 0, "abort the simulation after this duration (0 = no limit)")
+		cpAfter   = flag.Int("checkpoint-after", 0, "stream the run, write a checkpoint after this round and exit")
+		cpFile    = flag.String("checkpoint", "checkpoint.json", "checkpoint file written by -checkpoint-after")
+		resume    = flag.String("resume", "", "resume the run checkpointed in this file (requires the checkpoint to carry its system spec)")
 	)
 	flag.Parse()
-
-	opts := []dynmon.Option{dynmon.Colors(*colors), dynmon.WithRule(*ruleName)}
-	switch *graphKind {
-	case "":
-		opts = append(opts, dynmon.WithTopology(*topology, *rows, *cols))
-	case "ba":
-		opts = append(opts, dynmon.BarabasiAlbert(*graphN, *graphM, *seed))
-	case "ws":
-		opts = append(opts, dynmon.WattsStrogatz(*graphN, *graphK, *graphBeta, *seed))
-	case "er":
-		opts = append(opts, dynmon.ErdosRenyi(*graphN, *graphP, *seed))
-	default:
-		fatal(fmt.Errorf("unknown graph kind %q (want ba, ws or er)", *graphKind))
-	}
-	// On graph substrates dynmon itself resolves the default "smp" to its
-	// degree-aware generalized form; no CLI-side remapping needed.
-	sys, err := dynmon.New(opts...)
-	if err != nil {
-		fatal(err)
-	}
-	k := color.Color(*target)
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -89,106 +86,218 @@ func main() {
 		defer cancel()
 	}
 
-	runOpts := []dynmon.RunOption{
-		dynmon.Target(k),
-		dynmon.StopWhenMonochromatic(),
-		dynmon.MaxRounds(*maxRounds),
-	}
-	if *avail < 1 {
-		runOpts = append(runOpts, dynmon.TimeVarying(dynmon.Bernoulli{P: *avail, Seed: *seed}))
-	} else {
-		runOpts = append(runOpts, dynmon.DetectCycles())
-	}
-
-	if sys.Graph() != nil {
-		runGraph(ctx, sys, *config, k, *seed, runOpts)
+	if *resume != "" {
+		resumeRun(ctx, *resume)
 		return
 	}
 
-	cons, err := buildConfig(sys, *config, k, *seed)
+	var fs *dynmon.FileSpec
+	if *specFile != "" {
+		data, err := os.ReadFile(*specFile)
+		if err != nil {
+			fatal(err)
+		}
+		fs, err = dynmon.ParseFileSpec(data)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		fs = fileSpecFromFlags(*graphKind, *topology, *rows, *cols, *graphN, *graphM, *graphK, *graphBeta, *graphP,
+			*colors, *ruleName, *config, color.Color(*target), *seed, *avail, *maxRounds)
+	}
+
+	if *emitSpec {
+		out, err := fs.JSON()
+		if err != nil {
+			fatal(err)
+		}
+		os.Stdout.Write(out)
+		return
+	}
+
+	sys, err := fs.System.New()
 	if err != nil {
 		fatal(err)
 	}
-	initial := cons.Coloring
+	tgt := fs.Run.Target
+	if tgt == color.None {
+		tgt = 1
+	}
+	if fs.Initial == nil {
+		fatal(fmt.Errorf("spec has no initial section"))
+	}
+	cons, err := sys.BuildInitial(fs.Initial, tgt)
+	if err != nil {
+		fatal(err)
+	}
 
+	if *cpAfter > 0 {
+		checkpointRun(ctx, sys, cons.Coloring, fs.Run, *cpAfter, *cpFile)
+		return
+	}
+
+	runOpts := []dynmon.RunOption{dynmon.WithRunSpec(fs.Run)}
+	if sys.Graph() != nil {
+		runGraph(ctx, sys, cons, tgt, runOpts)
+		return
+	}
+	runTorus(ctx, sys, cons, tgt, runOpts, *render, *animate, *timing)
+}
+
+// fileSpecFromFlags assembles the declarative form of a flag invocation —
+// the same structure a -spec file carries, so the two entry points cannot
+// diverge.
+func fileSpecFromFlags(graphKind, topology string, rows, cols, graphN, graphM, graphK int, graphBeta, graphP float64,
+	colors int, ruleName, config string, target color.Color, seed uint64, avail float64, maxRounds int) *dynmon.FileSpec {
+	fs := &dynmon.FileSpec{}
+	switch graphKind {
+	case "":
+		fs.System.Substrate.Topology = &dynmon.TopologySpec{Name: topology, Rows: rows, Cols: cols}
+	case "ba", "barabasi-albert":
+		fs.System.Substrate.Generator = &dynmon.GeneratorSpec{
+			Name: "barabasi-albert", N: graphN, Params: map[string]float64{"m": float64(graphM)}, Seed: seed,
+		}
+	case "ws", "watts-strogatz":
+		fs.System.Substrate.Generator = &dynmon.GeneratorSpec{
+			Name: "watts-strogatz", N: graphN, Params: map[string]float64{"k": float64(graphK), "beta": graphBeta}, Seed: seed,
+		}
+	case "er", "erdos-renyi":
+		fs.System.Substrate.Generator = &dynmon.GeneratorSpec{
+			Name: "erdos-renyi", N: graphN, Params: map[string]float64{"p": graphP}, Seed: seed,
+		}
+	default:
+		// Any other registered generator, with its default parameters.
+		fs.System.Substrate.Generator = &dynmon.GeneratorSpec{Name: graphKind, N: graphN, Seed: seed}
+	}
+	fs.System.Colors = colors
+	fs.System.Rule = ruleName
+
+	name, size := splitConfig(config, 0)
+	fs.Initial = &dynmon.InitialSpec{Config: name, Size: size, Seed: seed}
+
+	fs.Run = dynmon.RunSpec{
+		Target:                target,
+		StopWhenMonochromatic: true,
+		MaxRounds:             maxRounds,
+	}
+	if avail < 1 {
+		fs.Run.TimeVarying = &dynmon.AvailabilitySpec{Model: "bernoulli", P: avail, Seed: seed}
+	} else {
+		fs.Run.DetectCycles = true
+	}
+	return fs
+}
+
+// runTorus drives a torus simulation and reports in the paper's terms.
+func runTorus(ctx context.Context, sys *dynmon.System, cons *dynmon.Construction, k color.Color, runOpts []dynmon.RunOption, render, animate, timing bool) {
+	initial := cons.Coloring
+	d := sys.Dims()
 	fmt.Printf("topology=%s size=%dx%d colors=%d rule=%s config=%s seed-size=%d lower-bound=%d\n",
-		sys.Topology().Name(), *rows, *cols, *colors, sys.Rule().Name(), cons.Name, initial.Count(k), sys.LowerBound())
-	if *render {
+		sys.Topology().Name(), d.Rows, d.Cols, sys.Palette().K, sys.Rule().Name(), cons.Name, initial.Count(k), sys.LowerBound())
+	if render {
 		fmt.Println("initial configuration:")
 		fmt.Print(dynmon.Render(initial, k))
 	}
-
-	if *animate {
+	if animate {
 		runOpts = append(runOpts, dynmon.WithObserver(dynmon.NewAnimator(os.Stdout, k)))
 	}
 	res, err := sys.Run(ctx, initial, runOpts...)
 	if err != nil {
-		fmt.Printf("simulation aborted after %d rounds: %v\n", res.Rounds, err)
+		rounds := 0
+		if res != nil {
+			rounds = res.Rounds
+		}
+		fmt.Printf("simulation aborted after %d rounds: %v\n", rounds, err)
 		os.Exit(1)
 	}
 
-	rep := &dynmon.Report{
-		Construction:    cons.Name,
-		SeedSize:        initial.Count(k),
-		LowerBound:      sys.LowerBound(),
-		Rounds:          res.Rounds,
-		PredictedRounds: sys.PredictedRounds(),
-		IsDynamo:        res.Monochromatic && res.FinalColor == k,
-		Monotone:        res.MonotoneTarget,
-		Result:          res,
-	}
-	if sys.Rule().Name() == "smp" {
-		rep.ConditionsOK = dynamo.CheckTheoremConditions(cons) == nil
-	}
-	fmt.Println(rep.Summary())
-	if *render {
+	fmt.Println(sys.ReportFor(cons, res).Summary())
+	if render {
 		fmt.Println("final configuration:")
 		fmt.Print(dynmon.Render(res.Final, k))
 	}
-	if *timing {
+	if timing {
 		_, rendered := sys.TimingMatrix(initial, k)
 		fmt.Println("recoloring-time matrix (0 = seed, · = never):")
 		fmt.Print(rendered)
 	}
 }
 
-// runGraph drives a general-graph simulation: seed by configuration name,
-// run on the unified engine, report the spread.
-func runGraph(ctx context.Context, sys *dynmon.System, config string, k color.Color, seed uint64, runOpts []dynmon.RunOption) {
+// runGraph drives a general-graph simulation and reports the spread.
+func runGraph(ctx context.Context, sys *dynmon.System, cons *dynmon.Construction, k color.Color, runOpts []dynmon.RunOption) {
 	g := sys.Graph()
-	others := sys.Palette().Others(k)
-	if len(others) == 0 {
-		fatal(fmt.Errorf("graph runs need a background color distinct from the target; use -colors 2 or more"))
-	}
-	background := others[0]
-	name, size := splitConfig(config, 8)
-
-	var initial *dynmon.Coloring
-	switch name {
-	case "hubs":
-		initial = sys.SeedTopByDegree(size, k, background)
-	case "random":
-		initial = sys.SeedRandom(size, k, background, seed)
-	case "greedy":
-		seeds := sys.GreedyTargetSet(k, background, size, 0, 30, seed)
-		initial = sys.NewColoring(background)
-		for _, v := range seeds {
-			initial.Set(v, k)
-		}
-	default:
-		fatal(fmt.Errorf("unknown graph config %q (want hubs[:size], random[:size] or greedy[:size])", config))
-	}
-
+	initial := cons.Coloring
 	fmt.Printf("graph n=%d edges=%d max-degree=%d colors=%d rule=%s config=%s seed-size=%d\n",
-		g.N(), g.EdgeCount(), g.MaxDegree(), sys.Palette().K, sys.Rule().Name(), config, initial.Count(k))
+		g.N(), g.EdgeCount(), g.MaxDegree(), sys.Palette().K, sys.Rule().Name(), cons.Name, initial.Count(k))
 	res, err := sys.Run(ctx, initial, runOpts...)
 	if err != nil {
-		fmt.Printf("simulation aborted after %d rounds: %v\n", res.Rounds, err)
+		rounds := 0
+		if res != nil {
+			rounds = res.Rounds
+		}
+		fmt.Printf("simulation aborted after %d rounds: %v\n", rounds, err)
 		os.Exit(1)
 	}
 	fmt.Printf("rounds=%d kernel=%s fixed-point=%v monochromatic=%v activated=%d/%d (%.2f)\n",
 		res.Rounds, res.Kernel, res.FixedPoint, res.Monochromatic,
 		res.Final.Count(k), g.N(), float64(res.Final.Count(k))/float64(g.N()))
+}
+
+// checkpointRun streams the run, snapshots it after the given round and
+// writes the checkpoint file — the "migrate a long run" entry point.
+func checkpointRun(ctx context.Context, sys *dynmon.System, initial *dynmon.Coloring, run dynmon.RunSpec, after int, file string) {
+	for st, err := range sys.Steps(ctx, initial, dynmon.WithRunSpec(run)) {
+		if err != nil {
+			fatal(err)
+		}
+		if st.Round() < after {
+			if st.Done() {
+				fmt.Printf("run finished on its own at round %d, before the requested checkpoint round %d; nothing to checkpoint\n", st.Round(), after)
+				return
+			}
+			continue
+		}
+		cp, err := st.Checkpoint()
+		if err != nil {
+			fatal(err)
+		}
+		out, err := cp.JSON()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(file, out, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("checkpointed at round %d -> %s (resume with -resume %s)\n", st.Round(), file, file)
+		return
+	}
+}
+
+// resumeRun continues a checkpointed run; the checkpoint must carry its
+// system spec (checkpoints written by this tool do).
+func resumeRun(ctx context.Context, file string) {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		fatal(err)
+	}
+	cp, err := dynmon.ParseCheckpoint(data)
+	if err != nil {
+		fatal(err)
+	}
+	if cp.System == nil {
+		fatal(fmt.Errorf("checkpoint %s carries no system spec; resume it in the process that owns the system", file))
+	}
+	sys, err := cp.System.New()
+	if err != nil {
+		fatal(err)
+	}
+	res, err := sys.Resume(ctx, cp)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("resumed at round %d on %s\n", cp.Round+1, sys)
+	fmt.Printf("rounds=%d kernel=%s fixed-point=%v cycle=%v monochromatic=%v final-color=%v\n",
+		res.Rounds, res.Kernel, res.FixedPoint, res.Cycle, res.Monochromatic, res.FinalColor)
 }
 
 // splitConfig parses "name:size" with a default size.
@@ -202,50 +311,6 @@ func splitConfig(config string, defaultSize int) (string, int) {
 		fatal(fmt.Errorf("bad config size %q", sizeStr))
 	}
 	return name, size
-}
-
-func buildConfig(sys *dynmon.System, config string, k color.Color, seed uint64) (*dynamo.Construction, error) {
-	d := sys.Dims()
-	palette := sys.Palette()
-	wrap := func(c *color.Coloring, name string) *dynamo.Construction {
-		return &dynamo.Construction{
-			Name:     name,
-			Topology: sys.Topology(),
-			Target:   k,
-			Palette:  palette,
-			Seed:     c.Vertices(k),
-			Coloring: c,
-		}
-	}
-	switch config {
-	case "cross", "blocked", "frozen":
-		if sys.Topology().Kind() != grid.KindToroidalMesh {
-			return nil, fmt.Errorf("config %q is defined on the toroidal mesh; use -topology mesh", config)
-		}
-	}
-	switch config {
-	case "minimum":
-		return sys.MinimumDynamo(k)
-	case "cross":
-		if palette.K >= 4 {
-			return dynamo.FullCross(d.Rows, d.Cols, k, palette)
-		}
-		// Two- and three-color crosses are used by the rule-comparison runs.
-		c := color.NewColoring(d, palette.Others(k)[0])
-		c.FillRow(0, k)
-		c.FillCol(0, k)
-		return wrap(c, "two-color-cross"), nil
-	case "comb":
-		return dynamo.CombUpperBound(sys.Topology().Kind(), d.Rows, d.Cols, k, palette)
-	case "blocked":
-		return dynamo.BlockedCross(d.Rows, d.Cols, k, palette)
-	case "frozen":
-		return dynamo.FrozenTiling(d.Rows, d.Cols, k, palette)
-	case "random":
-		return wrap(sys.RandomColoring(seed), "random"), nil
-	default:
-		return nil, fmt.Errorf("unknown config %q (want minimum, cross, comb, random, blocked or frozen)", config)
-	}
 }
 
 func fatal(err error) {

@@ -23,10 +23,15 @@
 //     heuristics (internal/graphs), link-availability models for the
 //     time-varying mode (internal/tvg), bounded-confidence opinions
 //     (internal/opinion);
-//   - the public, context-aware façade with pluggable rule/topology
-//     registries, graph and time-varying systems, observers and batched
-//     sessions — dynmon (which replaced the deleted internal/core façade;
-//     CI keeps it deleted).
+//   - the public, context-aware façade with pluggable rule/topology/
+//     generator registries, graph and time-varying systems, observers and
+//     batched sessions — dynmon (which replaced the deleted internal/core
+//     façade; CI keeps it deleted).  Its surface is spec-driven and
+//     streaming: systems and runs round-trip through JSON specs (Spec,
+//     RunSpec, the spec files under specs/), runs stream round by round as
+//     iter.Seq2 step sequences (System.Steps), and serializable checkpoints
+//     migrate long runs across processes (Step.Checkpoint, System.Resume)
+//     bit-identically to uninterrupted runs.
 //
 // See README.md for a quickstart, DESIGN.md for the system inventory and
 // EXPERIMENTS.md for the paper-vs-measured record of every experiment.

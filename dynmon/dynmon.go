@@ -22,17 +22,30 @@
 //
 //	res, err := sys.Run(ctx, initial, dynmon.Target(1), dynmon.StopWhenMonochromatic())
 //
+// The whole surface is spec-driven: a System round-trips through a
+// JSON-serializable Spec (ParseSpec, Spec.New, System.Spec) and a run
+// through a RunSpec — the functional options are thin adapters over both,
+// so the imperative and declarative paths cannot drift.  Runs stream as
+// pull-based step sequences (System.Steps, an iter.Seq2 with one Step per
+// round; early break = cancellation, bit-identical to Run), and any step —
+// or a canceled run's partial Result — emits a serializable Checkpoint that
+// System.Resume continues bit-identically to an uninterrupted run, in this
+// process or another.
+//
 // The TimeVarying run option masks link availability per round (Bernoulli
 // churn, node faults, duty cycling — or any Availability implementation),
 // the intermittent-network model from the paper's conclusions.
 //
 // Observers (OnRound/OnFinish) watch a run as it evolves; the package ships
-// a history recorder, an ASCII animator and a stats collector.  A Session
-// fans a batch of initial colorings across a bounded worker pool over one
-// shared engine, with bit-identical results to one-at-a-time runs.
+// a history recorder, an ASCII animator and a stats collector.  Observer
+// delivery is one adapter over the step stream, so observed and unobserved
+// runs cannot diverge.  A Session fans a batch of initial colorings across
+// a bounded worker pool over one shared engine, with bit-identical results
+// to one-at-a-time runs.
 //
-// Rules and topologies are pluggable: RegisterRule and RegisterTopology add
-// new implementations resolvable by name, without forking the repository.
+// Rules, topologies and graph generators are pluggable: RegisterRule,
+// RegisterTopology and RegisterGenerator add new implementations resolvable
+// by name — in options and in specs — without forking the repository.
 package dynmon
 
 import (
@@ -42,6 +55,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/color"
 	"repro/internal/dynamo"
+	"repro/internal/graphs"
 	"repro/internal/grid"
 	"repro/internal/rng"
 	"repro/internal/rules"
@@ -87,6 +101,10 @@ type System struct {
 	palette Palette
 	rule    Rule
 	engine  *sim.Engine
+	// spec is the canonical declarative description when the system was
+	// built through the spec path (names, generators, spec files); nil for
+	// instance-built systems, whose Spec() derives one on demand.
+	spec *Spec
 }
 
 // New builds a System from functional options.  The zero configuration is
@@ -112,18 +130,34 @@ func New(opts ...Option) (*System, error) {
 
 // NewFromConfig builds a System from an explicit Config; New is the
 // options-based front end.  Instance fields win over the corresponding name
-// fields, and a Graph substrate wins over both topology fields.  Graph
-// systems whose rule is the (default) "smp" name resolve it to
-// "generalized-smp", the degree-aware form of the same protocol — on
+// fields, and a Graph substrate wins over the generator and both topology
+// fields.  Graph systems whose rule is the (default) "smp" name resolve it
+// to "generalized-smp", the degree-aware form of the same protocol — on
 // 4-regular substrates the two are bit-identical (pinned by differential
 // tests), and on irregular graphs only the generalized form has the
 // intended ⌈d/2⌉ majority semantics.
+//
+// Whenever the Config names everything (no pre-built instances), it reduces
+// to a Spec and builds through Spec.New — the one constructor — so the
+// imperative and declarative paths cannot drift, and the resulting system
+// is spec-serializable (System.Spec).
 func NewFromConfig(cfg Config) (*System, error) {
+	if sp, ok := cfg.spec(); ok {
+		return sp.New()
+	}
 	var (
-		topo Topology
-		err  error
+		topo  Topology
+		graph = cfg.Graph
+		err   error
 	)
-	if cfg.Graph == nil {
+	if graph == nil && cfg.Generator != nil && cfg.Topology == nil {
+		gen := cfg.Generator
+		graph, err = graphs.GenerateByName(gen.Name, gen.N, gen.Params, gen.Seed)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if graph == nil {
 		topo = cfg.Topology
 		if topo == nil {
 			topo, err = grid.ByName(cfg.TopologyName, cfg.Rows, cfg.Cols)
@@ -139,7 +173,7 @@ func NewFromConfig(cfg Config) (*System, error) {
 	rule := cfg.Rule
 	if rule == nil {
 		name := cfg.RuleName
-		if cfg.Graph != nil && name == "smp" {
+		if graph != nil && name == "smp" {
 			name = "generalized-smp"
 		}
 		rule, err = rules.ByName(name)
@@ -149,12 +183,12 @@ func NewFromConfig(cfg Config) (*System, error) {
 	}
 	s := &System{
 		topo:    topo,
-		graph:   cfg.Graph,
+		graph:   graph,
 		palette: p,
 		rule:    rule,
 	}
-	if cfg.Graph != nil {
-		s.engine = cfg.Graph.EngineFor(rule)
+	if graph != nil {
+		s.engine = graph.EngineFor(rule)
 	} else {
 		s.engine = sim.NewEngine(topo, rule)
 	}
@@ -194,8 +228,21 @@ func (s *System) String() string {
 // is canceled or its deadline passes the run stops promptly and returns the
 // partial Result together with ctx.Err().  The initial coloring is not
 // modified.
+//
+// The options fold into a RunSpec — Run and a spec file describe a run the
+// same way — and Run itself is a drain of the Steps stream.
 func (s *System) Run(ctx context.Context, initial *Coloring, opts ...RunOption) (*Result, error) {
-	return s.engine.RunContext(ctx, initial, buildRunOptions(opts))
+	opt, err := runSpecOf(opts).engineOptions()
+	if err != nil {
+		return nil, err
+	}
+	return s.engine.RunContext(ctx, initial, opt)
+}
+
+// RunSpecced is Run driven entirely by a parsed RunSpec, the spec-file path
+// of the CLI tools; extra options apply on top of the spec.
+func (s *System) RunSpecced(ctx context.Context, initial *Coloring, spec RunSpec, opts ...RunOption) (*Result, error) {
+	return s.Run(ctx, initial, append([]RunOption{WithRunSpec(spec)}, opts...)...)
 }
 
 // NewColoring returns a coloring of the system's dimensions with every

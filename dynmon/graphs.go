@@ -42,13 +42,30 @@ func NewErdosRenyi(n int, p float64, seed uint64) (*GeneralGraph, error) {
 // torus.  The graph's structure is snapshotted when the System is built;
 // later mutations do not affect it.  When no rule is chosen explicitly the
 // system uses "generalized-smp", the degree-aware form of the paper's
-// protocol (bit-identical to "smp" on 4-regular substrates).
+// protocol (bit-identical to "smp" on 4-regular substrates).  Such a system
+// serializes as an explicit edge list (see System.Spec); the generator
+// options below keep the compact generator-by-name form instead.
 func Graph(g *GeneralGraph) Option {
 	return func(c *Config) error {
 		if g == nil {
 			return fmt.Errorf("dynmon: nil graph")
 		}
 		c.Graph = g
+		c.Generator, c.Topology = nil, nil
+		return nil
+	}
+}
+
+// WithGenerator selects a registered graph generator by name with explicit
+// parameters and seed — the spec-serializable substrate form the
+// BarabasiAlbert/WattsStrogatz/ErdosRenyi helpers reduce to.
+func WithGenerator(name string, n int, params map[string]float64, seed uint64) Option {
+	return func(c *Config) error {
+		if name == "" {
+			return fmt.Errorf("dynmon: empty generator name")
+		}
+		c.Generator = &GeneratorSpec{Name: name, N: n, Params: params, Seed: seed}
+		c.Graph, c.Topology = nil, nil
 		return nil
 	}
 }
@@ -57,41 +74,20 @@ func Graph(g *GeneralGraph) Option {
 // substrate (n vertices, m attachments per new vertex, deterministic in
 // seed).  Use Graph with NewBarabasiAlbert to keep a handle on the graph.
 func BarabasiAlbert(n, m int, seed uint64) Option {
-	return func(c *Config) error {
-		g, err := NewBarabasiAlbert(n, m, seed)
-		if err != nil {
-			return err
-		}
-		c.Graph = g
-		return nil
-	}
+	return WithGenerator("barabasi-albert", n, map[string]float64{"m": float64(m)}, seed)
 }
 
 // WattsStrogatz selects a freshly generated small-world Watts–Strogatz
 // substrate (ring lattice of degree k, rewiring probability beta,
 // deterministic in seed).
 func WattsStrogatz(n, k int, beta float64, seed uint64) Option {
-	return func(c *Config) error {
-		g, err := NewWattsStrogatz(n, k, beta, seed)
-		if err != nil {
-			return err
-		}
-		c.Graph = g
-		return nil
-	}
+	return WithGenerator("watts-strogatz", n, map[string]float64{"k": float64(k), "beta": beta}, seed)
 }
 
 // ErdosRenyi selects a freshly generated G(n, p) random-graph substrate,
 // deterministic in seed.
 func ErdosRenyi(n int, p float64, seed uint64) Option {
-	return func(c *Config) error {
-		g, err := NewErdosRenyi(n, p, seed)
-		if err != nil {
-			return err
-		}
-		c.Graph = g
-		return nil
-	}
+	return WithGenerator("erdos-renyi", n, map[string]float64{"p": p}, seed)
 }
 
 // Availability decides which links are usable in a given round; it is the
@@ -124,8 +120,14 @@ type (
 // run only when the model declares itself static; combine with
 // StopWhenMonochromatic and an explicit MaxRounds to bound intermittent
 // runs.
+//
+// The built-in models (AlwaysOn, Bernoulli, NodeFaults, Periodic) also have
+// a declarative form — RunSpec.TimeVarying, an AvailabilitySpec — which is
+// how spec files and checkpoints carry them; this option accepts any
+// Availability implementation and wins over the spec field when both are
+// set.
 func TimeVarying(a Availability) RunOption {
-	return func(o *sim.Options) { o.TimeVarying = a }
+	return func(rs *RunSpec) { rs.availability = a }
 }
 
 // ErrTimeVaryingSweepOnly is the error (wrapped) returned by time-varying

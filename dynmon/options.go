@@ -8,7 +8,10 @@ import (
 
 // Config is the explicit form of a System description.  Most callers use
 // New with functional options instead; the struct exists for callers that
-// unmarshal configuration from files or flags.
+// assemble configuration from flags.  Whenever no pre-built instances are
+// involved, NewFromConfig reduces the Config to a Spec and builds through
+// Spec.New — the struct is an adapter, not a second constructor.  For a
+// fully declarative, JSON-round-trippable description use Spec directly.
 type Config struct {
 	// TopologyName is resolved through the topology registry ("mesh",
 	// "toroidal-mesh", "cordalis", ... or any registered name) with the
@@ -26,9 +29,32 @@ type Config struct {
 	RuleName string
 	// Rule, when non-nil, is used directly.
 	Rule Rule
+	// Generator, when non-nil, makes the system run over a graph built by a
+	// registered generator (by name, parameters and seed — the
+	// spec-serializable form the BarabasiAlbert/WattsStrogatz/ErdosRenyi
+	// options produce).  Ignored when Graph is non-nil.
+	Generator *GeneratorSpec
 	// Graph, when non-nil, makes the system run over this general graph and
-	// wins over both topology fields.
+	// wins over the generator and both topology fields.
 	Graph *GeneralGraph
+}
+
+// spec reduces the Config to its declarative form.  ok is false when the
+// Config carries pre-built instances (Topology, Rule, Graph), which have no
+// a-priori wire form — NewFromConfig then builds directly and System.Spec
+// derives a spec after the fact where possible.
+func (cfg Config) spec() (*Spec, bool) {
+	if cfg.Topology != nil || cfg.Rule != nil || cfg.Graph != nil {
+		return nil, false
+	}
+	sp := &Spec{Colors: cfg.Colors, Rule: cfg.RuleName}
+	if cfg.Generator != nil {
+		gen := *cfg.Generator
+		sp.Substrate.Generator = &gen
+	} else {
+		sp.Substrate.Topology = &TopologySpec{Name: cfg.TopologyName, Rows: cfg.Rows, Cols: cfg.Cols}
+	}
+	return sp, true
 }
 
 // Option configures New.
@@ -49,6 +75,7 @@ func Serpentinus(m, n int) Option { return WithTopology("torus-serpentinus", m, 
 func WithTopology(name string, m, n int) Option {
 	return func(c *Config) error {
 		c.TopologyName, c.Rows, c.Cols, c.Topology = name, m, n, nil
+		c.Generator, c.Graph = nil, nil
 		return nil
 	}
 }
@@ -60,6 +87,7 @@ func WithTopologyInstance(t Topology) Option {
 			return fmt.Errorf("dynmon: nil topology")
 		}
 		c.Topology = t
+		c.Generator, c.Graph = nil, nil
 		return nil
 	}
 }
@@ -93,46 +121,220 @@ func WithRuleInstance(r Rule) Option {
 	}
 }
 
-// RunOption configures a single Run (or every run of a Session batch).
-type RunOption func(*sim.Options)
+// RunSpec is the declarative, JSON-round-trippable description of a run:
+// round cap, stop conditions, kernel, workers and the time-varying model.
+// It is the wire form behind the RunOption front end — every option is a
+// mutation of a RunSpec, and both System.Run and spec files reduce to one —
+// so the imperative and declarative paths cannot drift.
+//
+// The zero RunSpec runs with all defaults (substrate round budget,
+// automatic kernel, sequential, static network, run to fixed point).
+type RunSpec struct {
+	// MaxRounds bounds the number of synchronous rounds (0 selects the
+	// substrate's default budget).
+	MaxRounds int `json:"max_rounds,omitempty"`
+	// Target is the color whose spread is tracked (0 = none).
+	Target Color `json:"target,omitempty"`
+	// StopWhenMonochromatic stops the run as soon as every vertex has the
+	// same color.
+	StopWhenMonochromatic bool `json:"stop_when_monochromatic,omitempty"`
+	// DetectCycles stops the run when a period-2 oscillation is detected.
+	DetectCycles bool `json:"detect_cycles,omitempty"`
+	// RecordHistory keeps a copy of the configuration after every round.
+	RecordHistory bool `json:"record_history,omitempty"`
+	// Kernel forces a stepping tier by name ("bitplane", "frontier",
+	// "sweep", "parallel"); empty or "auto" keeps the automatic selection.
+	Kernel string `json:"kernel,omitempty"`
+	// Parallel enables the striped parallel stepper with Workers goroutines
+	// (0 = GOMAXPROCS).
+	Parallel bool `json:"parallel,omitempty"`
+	Workers  int  `json:"workers,omitempty"`
+	// FullSweep forces the sequential full-sweep oracle stepper.
+	FullSweep bool `json:"full_sweep,omitempty"`
+	// TimeVarying selects a link-availability model by spec; see
+	// AvailabilitySpec.  The TimeVarying run option (an arbitrary
+	// Availability implementation) wins over this field when both are set.
+	TimeVarying *AvailabilitySpec `json:"time_varying,omitempty"`
 
-// buildRunOptions folds RunOptions into the engine's option struct.
-func buildRunOptions(opts []RunOption) sim.Options {
-	var o sim.Options
+	// Non-wire attachments, set through run options: observers watch the
+	// run, availability overrides TimeVarying with an arbitrary
+	// implementation, freshBuffers opts out of the engine's buffer pool.
+	// They do not serialize — a checkpoint or spec file carries run
+	// semantics, not process-local callbacks.
+	observers    []Observer
+	availability Availability
+	freshBuffers bool
+}
+
+// RunOption configures a single Run (or every run of a Session batch) by
+// mutating the run's RunSpec.
+type RunOption func(*RunSpec)
+
+// runSpecOf folds RunOptions into a RunSpec.
+func runSpecOf(opts []RunOption) RunSpec {
+	var rs RunSpec
 	for _, opt := range opts {
-		opt(&o)
+		opt(&rs)
 	}
-	return o
+	return rs
+}
+
+// WithRunSpec overlays a complete RunSpec: its wire fields replace the ones
+// accumulated so far, while non-wire attachments (observers, an explicit
+// availability model, the buffer-pool opt-out) are merged.  It is how
+// spec-file-driven callers pass a parsed RunSpec through the same option
+// path everything else uses.
+func WithRunSpec(spec RunSpec) RunOption {
+	return func(rs *RunSpec) {
+		observers := append(rs.observers, spec.observers...)
+		availability := spec.availability
+		if availability == nil {
+			availability = rs.availability
+		}
+		fresh := rs.freshBuffers || spec.freshBuffers
+		*rs = spec
+		rs.observers, rs.availability, rs.freshBuffers = observers, availability, fresh
+	}
+}
+
+// engineOptions lowers the RunSpec onto the engine's option struct.
+func (rs RunSpec) engineOptions() (sim.Options, error) {
+	kernel, err := sim.ParseKernel(rs.Kernel)
+	if err != nil {
+		return sim.Options{}, fmt.Errorf("dynmon: %w", err)
+	}
+	o := sim.Options{
+		MaxRounds:             rs.MaxRounds,
+		Target:                rs.Target,
+		StopWhenMonochromatic: rs.StopWhenMonochromatic,
+		DetectCycles:          rs.DetectCycles,
+		RecordHistory:         rs.RecordHistory,
+		Kernel:                kernel,
+		Parallel:              rs.Parallel,
+		Workers:               rs.Workers,
+		FullSweep:             rs.FullSweep,
+		FreshBuffers:          rs.freshBuffers,
+		Observers:             rs.observers,
+	}
+	switch {
+	case rs.availability != nil:
+		o.TimeVarying = rs.availability
+	case rs.TimeVarying != nil:
+		model, err := rs.TimeVarying.Build()
+		if err != nil {
+			return sim.Options{}, err
+		}
+		o.TimeVarying = model
+	}
+	return o, nil
+}
+
+// wireClone returns the RunSpec with only its serializable fields, deep.
+func (rs RunSpec) wireClone() RunSpec {
+	out := rs
+	out.observers, out.availability, out.freshBuffers = nil, nil, false
+	if rs.TimeVarying != nil {
+		tv := *rs.TimeVarying
+		out.TimeVarying = &tv
+	}
+	return out
+}
+
+// AvailabilitySpec is the wire form of the built-in link-availability
+// models: "always-on", "bernoulli" (P, Seed), "node-faults" (P, Seed, plus
+// an optional nested Links model for the underlying link layer) and
+// "periodic" (Period, Off).
+type AvailabilitySpec struct {
+	Model  string            `json:"model"`
+	P      float64           `json:"p,omitempty"`
+	Seed   uint64            `json:"seed,omitempty"`
+	Links  *AvailabilitySpec `json:"links,omitempty"`
+	Period int               `json:"period,omitempty"`
+	Off    int               `json:"off,omitempty"`
+}
+
+// Build instantiates the availability model the spec names.
+func (as *AvailabilitySpec) Build() (Availability, error) {
+	switch as.Model {
+	case "always-on":
+		return AlwaysOn{}, nil
+	case "bernoulli":
+		return Bernoulli{P: as.P, Seed: as.Seed}, nil
+	case "node-faults":
+		var links Availability
+		if as.Links != nil {
+			inner, err := as.Links.Build()
+			if err != nil {
+				return nil, err
+			}
+			links = inner
+		}
+		return NodeFaults{Links: links, P: as.P, Seed: as.Seed}, nil
+	case "periodic":
+		return Periodic{Period: as.Period, Off: as.Off}, nil
+	default:
+		return nil, fmt.Errorf("dynmon: unknown availability model %q (want always-on, bernoulli, node-faults or periodic)", as.Model)
+	}
+}
+
+// availabilitySpecOf reverse-maps a built-in availability model to its wire
+// form; ok is false for custom implementations, which have none.  The
+// mapping is exact — Build on the result reproduces the model value — so a
+// checkpointed time-varying run resumes under precisely the link draws it
+// was started with (degenerate layers like a never-available Bernoulli
+// included).
+func availabilitySpecOf(a Availability) (*AvailabilitySpec, bool) {
+	switch m := a.(type) {
+	case AlwaysOn:
+		return &AvailabilitySpec{Model: "always-on"}, true
+	case Bernoulli:
+		return &AvailabilitySpec{Model: "bernoulli", P: m.P, Seed: m.Seed}, true
+	case Periodic:
+		return &AvailabilitySpec{Model: "periodic", Period: m.Period, Off: m.Off}, true
+	case NodeFaults:
+		spec := &AvailabilitySpec{Model: "node-faults", P: m.P, Seed: m.Seed}
+		if m.Links == nil {
+			return spec, true
+		}
+		inner, ok := availabilitySpecOf(m.Links)
+		if !ok {
+			return nil, false
+		}
+		spec.Links = inner
+		return spec, true
+	default:
+		return nil, false
+	}
 }
 
 // MaxRounds bounds the number of synchronous rounds (0 selects the default
 // budget for the topology, generous enough that non-convergence means "not
 // a dynamo").
 func MaxRounds(n int) RunOption {
-	return func(o *sim.Options) { o.MaxRounds = n }
+	return func(rs *RunSpec) { rs.MaxRounds = n }
 }
 
 // Target tracks the spread of color k: per-vertex first-reach times and
 // whether the k-colored set evolved monotonically.
 func Target(k Color) RunOption {
-	return func(o *sim.Options) { o.Target = k }
+	return func(rs *RunSpec) { rs.Target = k }
 }
 
 // StopWhenMonochromatic stops the run as soon as every vertex has the same
 // color (the dynamo success condition).
 func StopWhenMonochromatic() RunOption {
-	return func(o *sim.Options) { o.StopWhenMonochromatic = true }
+	return func(rs *RunSpec) { rs.StopWhenMonochromatic = true }
 }
 
 // DetectCycles stops the run when a period-2 oscillation is detected.
 func DetectCycles() RunOption {
-	return func(o *sim.Options) { o.DetectCycles = true }
+	return func(rs *RunSpec) { rs.DetectCycles = true }
 }
 
 // RecordHistory keeps a copy of the configuration after every round on
 // Result.History.
 func RecordHistory() RunOption {
-	return func(o *sim.Options) { o.RecordHistory = true }
+	return func(rs *RunSpec) { rs.RecordHistory = true }
 }
 
 // Parallel enables the striped parallel stepper with the given worker
@@ -140,7 +342,7 @@ func RecordHistory() RunOption {
 // count — is reported on Result.Workers.  Parallel and sequential runs are
 // bit-identical.
 func Parallel(workers int) RunOption {
-	return func(o *sim.Options) { o.Parallel, o.Workers = true, workers }
+	return func(rs *RunSpec) { rs.Parallel, rs.Workers = true, workers }
 }
 
 // FullSweep forces the sequential full-sweep oracle stepper instead of the
@@ -148,7 +350,7 @@ func Parallel(workers int) RunOption {
 // option exists for differential checks and for measuring the frontier's
 // speedup.
 func FullSweep() RunOption {
-	return func(o *sim.Options) { o.FullSweep = true }
+	return func(rs *RunSpec) { rs.FullSweep = true }
 }
 
 // KernelTier identifies one of the engine's stepping tiers.  All tiers are
@@ -183,18 +385,25 @@ var ErrBitplaneIneligible = sim.ErrBitplaneIneligible
 // Kernel forces the run's stepping tier instead of the automatic selection.
 // See the KernelTier constants; the tier used is reported on Result.Kernel.
 func Kernel(k KernelTier) RunOption {
-	return func(o *sim.Options) { o.Kernel = k }
+	return func(rs *RunSpec) {
+		if k == sim.KernelAuto {
+			rs.Kernel = ""
+			return
+		}
+		rs.Kernel = k.String()
+	}
 }
 
 // FreshBuffers makes the run allocate its own working buffers instead of
 // borrowing from the engine's per-run buffer pool.
 func FreshBuffers() RunOption {
-	return func(o *sim.Options) { o.FreshBuffers = true }
+	return func(rs *RunSpec) { rs.freshBuffers = true }
 }
 
 // WithObserver notifies o after every round (OnRound) and when the run
 // stops on its own (OnFinish).  May be given multiple times; observers run
-// in order from the run's driving goroutine.
+// in order from the run's driving goroutine.  Under the hood observers are
+// one adapter over the step stream — see System.Steps.
 func WithObserver(obs Observer) RunOption {
-	return func(o *sim.Options) { o.Observers = append(o.Observers, obs) }
+	return func(rs *RunSpec) { rs.observers = append(rs.observers, obs) }
 }

@@ -7,26 +7,27 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/ascii"
 	"repro/internal/dynamo"
-	"repro/internal/sim"
 )
 
-// Report is the outcome of verifying a configuration.
+// Report is the outcome of verifying a configuration.  The JSON field tags
+// are a stable wire contract — reports serve directly over the wire, with
+// no second DTO layer (see TestReportJSONStable).
 type Report struct {
 	// Construction names the verified configuration.
-	Construction string
+	Construction string `json:"construction"`
 	// SeedSize, LowerBound and Rounds summarize the run.
-	SeedSize   int
-	LowerBound int
-	Rounds     int
+	SeedSize   int `json:"seed_size"`
+	LowerBound int `json:"lower_bound"`
+	Rounds     int `json:"rounds"`
 	// PredictedRounds is the Theorem 7/8 value for the topology.
-	PredictedRounds int
+	PredictedRounds int `json:"predicted_rounds"`
 	// IsDynamo, Monotone and ConditionsOK are the three judgements of the
 	// paper's framework.
-	IsDynamo     bool
-	Monotone     bool
-	ConditionsOK bool
+	IsDynamo     bool `json:"is_dynamo"`
+	Monotone     bool `json:"monotone"`
+	ConditionsOK bool `json:"conditions_ok"`
 	// Result is the underlying simulation trace.
-	Result *Result
+	Result *Result `json:"result,omitempty"`
 }
 
 // Summary renders the report as a short human-readable paragraph.
@@ -42,9 +43,9 @@ func (r *Report) Summary() string {
 	return b.String()
 }
 
-// verifyOptions are the engine options every dynamo judgement runs with.
-func verifyOptions(target Color) sim.Options {
-	return sim.Options{
+// verifySpec is the run description every dynamo judgement runs with.
+func verifySpec(target Color) RunSpec {
+	return RunSpec{
 		Target:                target,
 		StopWhenMonochromatic: true,
 		DetectCycles:          true,
@@ -66,6 +67,20 @@ func (s *System) reportFromResult(name string, seedSize int, target Color, res *
 	}
 }
 
+// ReportFor assembles the standard dynamo judgement of an already-finished
+// run on a named construction — the report the CLI tools print.  It is
+// Verify without the run: callers that drove the simulation themselves
+// (through Run, Steps or a spec file) hand in the result.  The
+// theorem-condition check applies when it can: the SMP rule on a torus
+// construction.
+func (s *System) ReportFor(cons *Construction, res *Result) *Report {
+	rep := s.reportFromResult(cons.Name, len(cons.Seed), cons.Target, res)
+	if s.rule.Name() == "smp" && s.topo != nil && cons.Topology != nil {
+		rep.ConditionsOK = dynamo.CheckTheoremConditions(cons) == nil
+	}
+	return rep
+}
+
 // Verify runs the system's rule on a construction and summarizes the
 // outcome against the paper's bounds and theorem conditions.
 func (s *System) Verify(c *Construction) *Report {
@@ -81,7 +96,13 @@ func (s *System) Verify(c *Construction) *Report {
 // It runs on the system's cached engine, so repeated verification does not
 // rebuild adjacency tables.
 func (s *System) VerifyColoring(initial *Coloring, target Color) *Report {
-	res := s.engine.Run(initial, verifyOptions(target))
+	// verifySpec has no kernel or availability spec to lower, so this cannot
+	// fail.
+	opt, err := verifySpec(target).engineOptions()
+	if err != nil {
+		panic(err)
+	}
+	res := s.engine.Run(initial, opt)
 	return s.reportFromResult("custom coloring", initial.Count(target), target, res)
 }
 

@@ -4,6 +4,8 @@ import (
 	"context"
 	"runtime"
 	"sync"
+
+	"repro/internal/sim"
 )
 
 // Session fans batches of independent simulations across a bounded worker
@@ -60,24 +62,37 @@ func (se *Session) Workers() int { return se.workers }
 // working buffers (the default).
 func (se *Session) ReusesBuffers() bool { return !se.fresh }
 
+// batchOptions folds run options into the engine options every batch item
+// runs with, applying the session's normalization: per-run parallel stepping
+// would oversubscribe the pool — the batch is the unit of parallelism — so
+// Parallel is cleared and a forced parallel tier is normalized to the sweep
+// it would otherwise degrade to.  The session's buffer-reuse default
+// composes with a per-run FreshBuffers() option: either opting out disables
+// reuse.
+func (se *Session) batchOptions(rs RunSpec) (sim.Options, error) {
+	rs.Parallel = false
+	if rs.Kernel == sim.KernelParallel.String() {
+		rs.Kernel = sim.KernelSweep.String()
+	}
+	opt, err := rs.engineOptions()
+	if err != nil {
+		return sim.Options{}, err
+	}
+	opt.FreshBuffers = opt.FreshBuffers || se.fresh
+	return opt, nil
+}
+
 // RunBatch evolves every initial coloring under the system's rule and
 // returns one Result per input, in input order.  The run options apply to
 // every item.  When ctx is canceled mid-batch the call returns ctx.Err();
 // entries whose simulation did not complete are nil.
 func (se *Session) RunBatch(ctx context.Context, initials []*Coloring, opts ...RunOption) ([]*Result, error) {
-	opt := buildRunOptions(opts)
-	// Per-run parallel stepping would oversubscribe the pool; the batch is
-	// the unit of parallelism.  A forced parallel tier is normalized to the
-	// sweep it would otherwise degrade to, for the same reason.
-	opt.Parallel = false
-	if opt.Kernel == KernelParallel {
-		opt.Kernel = KernelSweep
+	opt, err := se.batchOptions(runSpecOf(opts))
+	if err != nil {
+		return nil, err
 	}
-	// The session default composes with a per-run FreshBuffers() option:
-	// either opting out disables reuse.
-	opt.FreshBuffers = opt.FreshBuffers || se.fresh
 	results := make([]*Result, len(initials))
-	err := se.forEach(ctx, len(initials), func(ctx context.Context, i int) error {
+	err = se.forEach(ctx, len(initials), func(ctx context.Context, i int) error {
 		res, err := se.sys.engine.RunContext(ctx, initials[i], opt)
 		if err != nil {
 			return err
@@ -89,14 +104,24 @@ func (se *Session) RunBatch(ctx context.Context, initials []*Coloring, opts ...R
 }
 
 // VerifyBatch runs every initial coloring to its verdict under the
-// system's rule and returns one Report per input, in input order.  When ctx
-// is canceled mid-batch the call returns ctx.Err(); entries whose
-// simulation did not complete are nil.
-func (se *Session) VerifyBatch(ctx context.Context, initials []*Coloring, target Color) ([]*Report, error) {
-	opt := verifyOptions(target)
-	opt.FreshBuffers = opt.FreshBuffers || se.fresh
+// system's rule and returns one Report per input, in input order.  Extra
+// run options layer over the standard verification options and get the same
+// normalization as RunBatch (no per-run parallelism: the batch is the unit
+// of parallelism, so a Parallel or KernelParallel option is demoted to the
+// sequential sweep instead of oversubscribing the pool).  When ctx is
+// canceled mid-batch the call returns ctx.Err(); entries whose simulation
+// did not complete are nil.
+func (se *Session) VerifyBatch(ctx context.Context, initials []*Coloring, target Color, opts ...RunOption) ([]*Report, error) {
+	rs := verifySpec(target)
+	for _, opt := range opts {
+		opt(&rs)
+	}
+	opt, err := se.batchOptions(rs)
+	if err != nil {
+		return nil, err
+	}
 	reports := make([]*Report, len(initials))
-	err := se.forEach(ctx, len(initials), func(ctx context.Context, i int) error {
+	err = se.forEach(ctx, len(initials), func(ctx context.Context, i int) error {
 		res, err := se.sys.engine.RunContext(ctx, initials[i], opt)
 		if err != nil {
 			return err

@@ -1,0 +1,521 @@
+package dynmon
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"sort"
+
+	"repro/internal/color"
+	"repro/internal/dynamo"
+	"repro/internal/graphs"
+	"repro/internal/grid"
+	"repro/internal/rules"
+	"repro/internal/sim"
+)
+
+// Spec is the declarative, JSON-round-trippable description of a System: a
+// substrate (torus topology, graph generator or explicit edge list), a
+// palette size and a rule name.  It is the wire form of the public API — the
+// functional options and Config are thin adapters that produce a Spec, and
+// Spec.New is the one constructor behind every path, so the imperative and
+// declarative surfaces cannot drift.
+//
+// Specs built by System.Spec are canonical: registry aliases ("mesh", "ba")
+// are resolved to their canonical names, so ParseSpec(sys.Spec().JSON())
+// rebuilds an equivalent system and equal systems produce equal specs.
+type Spec struct {
+	// Substrate names the interaction substrate; exactly one of its three
+	// forms must be set.
+	Substrate SubstrateSpec `json:"substrate"`
+	// Colors is the palette size K (the color set is {1..K}).
+	Colors int `json:"colors"`
+	// Rule is a registered rule name.  Empty selects the default: "smp" on
+	// tori, "generalized-smp" on graph substrates (and a literal "smp" on a
+	// graph substrate resolves to "generalized-smp", exactly as the option
+	// front end does).
+	Rule string `json:"rule,omitempty"`
+}
+
+// SubstrateSpec describes an interaction substrate in exactly one of three
+// forms: a registered torus topology with its dimensions, a registered graph
+// generator with its parameters and seed, or an explicit edge list.
+type SubstrateSpec struct {
+	Topology  *TopologySpec  `json:"topology,omitempty"`
+	Generator *GeneratorSpec `json:"generator,omitempty"`
+	Edges     *EdgeListSpec  `json:"edges,omitempty"`
+}
+
+// TopologySpec names a registered torus topology ("toroidal-mesh",
+// "torus-cordalis", "torus-serpentinus" or any registered name or alias)
+// with its lattice dimensions.
+type TopologySpec struct {
+	Name string `json:"name"`
+	Rows int    `json:"rows"`
+	Cols int    `json:"cols"`
+}
+
+// GeneratorSpec names a registered graph generator ("barabasi-albert",
+// "watts-strogatz", "erdos-renyi", "random-regular", "ring" or any
+// registered name or alias) with the vertex count, its named parameters and
+// the seed.  Generators are deterministic in (n, params, seed), so the spec
+// rebuilds the same graph everywhere.
+type GeneratorSpec struct {
+	Name   string             `json:"name"`
+	N      int                `json:"n"`
+	Params map[string]float64 `json:"params,omitempty"`
+	Seed   uint64             `json:"seed,omitempty"`
+}
+
+// EdgeListSpec is the explicit-substrate escape hatch: n vertices and an
+// undirected edge list.  It is how hand-built graphs (the Graph option)
+// serialize.
+type EdgeListSpec struct {
+	N     int      `json:"n"`
+	Edges [][2]int `json:"edges"`
+}
+
+// ParseSpec decodes a Spec from JSON, strictly: unknown fields, malformed
+// values and structurally invalid specs (no substrate, two substrates,
+// impossible sizes) are errors, never panics.  The result is validated but
+// not yet instantiated; call Spec.New to build the System.
+func ParseSpec(data []byte) (*Spec, error) {
+	var sp Spec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sp); err != nil {
+		return nil, fmt.Errorf("dynmon: parsing spec: %w", err)
+	}
+	if err := ensureEOF(dec); err != nil {
+		return nil, err
+	}
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	return &sp, nil
+}
+
+// ensureEOF rejects trailing garbage after a decoded JSON document.
+func ensureEOF(dec *json.Decoder) error {
+	if dec.More() {
+		return fmt.Errorf("dynmon: trailing data after JSON document")
+	}
+	return nil
+}
+
+// Validate checks the spec's structure without building anything: exactly
+// one substrate form, plausible sizes, a known rule name (when set).
+func (sp *Spec) Validate() error {
+	forms := 0
+	if sp.Substrate.Topology != nil {
+		forms++
+		t := sp.Substrate.Topology
+		if t.Name == "" {
+			return fmt.Errorf("dynmon: spec topology without a name")
+		}
+		if t.Rows < 2 || t.Cols < 2 {
+			return fmt.Errorf("dynmon: spec topology %dx%d must be at least 2x2", t.Rows, t.Cols)
+		}
+	}
+	if sp.Substrate.Generator != nil {
+		forms++
+		g := sp.Substrate.Generator
+		if g.Name == "" {
+			return fmt.Errorf("dynmon: spec generator without a name")
+		}
+		if g.N < 1 {
+			return fmt.Errorf("dynmon: spec generator with %d vertices", g.N)
+		}
+	}
+	if sp.Substrate.Edges != nil {
+		forms++
+		e := sp.Substrate.Edges
+		if e.N < 1 {
+			return fmt.Errorf("dynmon: spec edge list with %d vertices", e.N)
+		}
+		for _, edge := range e.Edges {
+			u, v := edge[0], edge[1]
+			if u < 0 || v < 0 || u >= e.N || v >= e.N {
+				return fmt.Errorf("dynmon: spec edge {%d,%d} outside vertex range [0,%d)", u, v, e.N)
+			}
+			if u == v {
+				return fmt.Errorf("dynmon: spec self-loop at vertex %d", u)
+			}
+		}
+	}
+	if forms != 1 {
+		return fmt.Errorf("dynmon: spec substrate must have exactly one of topology, generator or edges (got %d)", forms)
+	}
+	if sp.Colors < 1 {
+		return fmt.Errorf("dynmon: spec with %d colors (want at least 1)", sp.Colors)
+	}
+	return nil
+}
+
+// JSON renders the spec as indented JSON with a trailing newline, the
+// canonical file form.
+func (sp *Spec) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(sp, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Clone returns a deep copy of the spec.
+func (sp *Spec) Clone() *Spec {
+	out := *sp
+	if t := sp.Substrate.Topology; t != nil {
+		tc := *t
+		out.Substrate.Topology = &tc
+	}
+	if g := sp.Substrate.Generator; g != nil {
+		gc := *g
+		if g.Params != nil {
+			gc.Params = make(map[string]float64, len(g.Params))
+			for k, v := range g.Params {
+				gc.Params[k] = v
+			}
+		}
+		out.Substrate.Generator = &gc
+	}
+	if e := sp.Substrate.Edges; e != nil {
+		ec := *e
+		ec.Edges = append([][2]int(nil), e.Edges...)
+		out.Substrate.Edges = &ec
+	}
+	return &out
+}
+
+// New instantiates the System the spec describes.  It is the single
+// constructor of the package: New (functional options) and NewFromConfig
+// reduce to it whenever no pre-built instances are involved, and the
+// resulting System remembers its (canonicalized) spec, so System.Spec is the
+// exact inverse.
+func (sp *Spec) New() (*System, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	canonical := sp.Clone()
+	ruleName := sp.Rule
+	var (
+		topo  Topology
+		graph *GeneralGraph
+		err   error
+	)
+	switch {
+	case sp.Substrate.Topology != nil:
+		t := sp.Substrate.Topology
+		topo, err = grid.ByName(t.Name, t.Rows, t.Cols)
+		if err != nil {
+			return nil, err
+		}
+		canonical.Substrate.Topology.Name = topo.Name()
+		if ruleName == "" {
+			ruleName = "smp"
+		}
+	case sp.Substrate.Generator != nil:
+		g := sp.Substrate.Generator
+		graph, err = graphs.GenerateByName(g.Name, g.N, g.Params, g.Seed)
+		if err != nil {
+			return nil, err
+		}
+		canonical.Substrate.Generator.Name, err = graphs.CanonicalGeneratorName(g.Name)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		e := sp.Substrate.Edges
+		graph = graphs.NewGraph(e.N)
+		for _, edge := range e.Edges {
+			graph.AddEdge(edge[0], edge[1])
+		}
+		canonical.Substrate.Edges = edgeListOf(graph)
+	}
+	if graph != nil && (ruleName == "" || ruleName == "smp") {
+		// The degree-aware form of the same protocol; bit-identical to
+		// "smp" on 4-regular substrates (see NewFromConfig).
+		ruleName = "generalized-smp"
+	}
+	rule, err := rules.ByName(ruleName)
+	if err != nil {
+		return nil, err
+	}
+	canonical.Rule = ruleName
+
+	p, err := color.NewPalette(sp.Colors)
+	if err != nil {
+		return nil, err
+	}
+	s := &System{
+		topo:    topo,
+		graph:   graph,
+		palette: p,
+		rule:    rule,
+		spec:    canonical,
+	}
+	if graph != nil {
+		s.engine = graph.EngineFor(rule)
+	} else {
+		s.engine = sim.NewEngine(topo, rule)
+	}
+	return s, nil
+}
+
+// edgeListOf serializes a graph's structure as a sorted undirected edge
+// list.
+func edgeListOf(g *GeneralGraph) *EdgeListSpec {
+	out := &EdgeListSpec{N: g.N(), Edges: make([][2]int, 0, g.EdgeCount())}
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Neighbors(u) {
+			if u < v {
+				out.Edges = append(out.Edges, [2]int{u, v})
+			}
+		}
+	}
+	sort.Slice(out.Edges, func(i, j int) bool {
+		if out.Edges[i][0] != out.Edges[j][0] {
+			return out.Edges[i][0] < out.Edges[j][0]
+		}
+		return out.Edges[i][1] < out.Edges[j][1]
+	})
+	return out
+}
+
+// Spec returns the declarative description of the system — the exact
+// inverse of Spec.New.  Systems built from specs, names or registered
+// generators return the canonicalized spec they were built from; systems
+// built around pre-supplied instances (WithTopologyInstance,
+// WithRuleInstance) are described by name when the instance is
+// indistinguishable from its registry entry, and hand-built graphs
+// serialize as explicit edge lists.  An error means the system genuinely
+// has no faithful wire form — e.g. an unregistered rule implementation or a
+// rule instance with non-default parameters.
+func (s *System) Spec() (*Spec, error) {
+	if s.spec != nil {
+		return s.spec.Clone(), nil
+	}
+	sp := &Spec{Colors: s.palette.K}
+
+	name := s.rule.Name()
+	registered, err := rules.ByName(name)
+	if err != nil {
+		return nil, fmt.Errorf("dynmon: system rule %q is not registered; register it to make the system spec-serializable", name)
+	}
+	if !reflect.DeepEqual(registered, s.rule) {
+		return nil, fmt.Errorf("dynmon: system rule %q differs from its registry entry (non-default parameters?); a spec cannot describe it faithfully", name)
+	}
+	sp.Rule = name
+
+	if s.graph != nil {
+		sp.Substrate.Edges = edgeListOf(s.graph)
+		return sp, nil
+	}
+	d := s.topo.Dims()
+	tname := s.topo.Name()
+	topoRegistered, err := grid.ByName(tname, d.Rows, d.Cols)
+	if err != nil {
+		return nil, fmt.Errorf("dynmon: system topology %q is not registered; register it to make the system spec-serializable", tname)
+	}
+	if !reflect.DeepEqual(topoRegistered, s.topo) {
+		return nil, fmt.Errorf("dynmon: system topology %q differs from its registry entry; a spec cannot describe it faithfully", tname)
+	}
+	sp.Substrate.Topology = &TopologySpec{Name: tname, Rows: d.Rows, Cols: d.Cols}
+	return sp, nil
+}
+
+// RegisterGenerator makes a graph generator resolvable in GeneratorSpec
+// names (canonical name first, then aliases).  The factory must be
+// deterministic in (n, params, seed) and must reject unknown parameter
+// names.  Registering a taken name panics.
+func RegisterGenerator(factory func(n int, params map[string]float64, seed uint64) (*GeneralGraph, error), names ...string) {
+	graphs.RegisterGenerator(graphs.GenFactory(factory), names...)
+}
+
+// GeneratorNames returns every generator name specs accept, sorted,
+// including aliases and externally registered generators.
+func GeneratorNames() []string { return graphs.GeneratorNames() }
+
+// InitialSpec describes an initial configuration declaratively: either a
+// named construction family with a size and seed, or explicit cells.  It is
+// the third leg of a spec file — system, initial, run — and the library
+// form of what the CLI tools' -config flag used to assemble imperatively.
+type InitialSpec struct {
+	// Config names a construction family.  On tori: "minimum" (the paper's
+	// tight construction), "cross", "comb", "blocked", "frozen", "random".
+	// On graphs: "hubs" (top Size vertices by degree), "random" (Size
+	// uniform vertices), "greedy" (the simulation-driven greedy baseline,
+	// Size seeds).  Empty means Cells carries the configuration explicitly.
+	Config string `json:"config,omitempty"`
+	// Size parameterizes the graph families (seed-set size); 0 selects 8.
+	Size int `json:"size,omitempty"`
+	// Seed drives the random families, deterministic per seed.
+	Seed uint64 `json:"seed,omitempty"`
+	// Cells is the explicit configuration (wire form of a Coloring: rows,
+	// cols, row-major cells), used when Config is empty.
+	Cells *Coloring `json:"cells,omitempty"`
+}
+
+// BuildInitial realizes an initial configuration on this system: the
+// construction (with its name and, for torus families, the theorem-condition
+// metadata) plus the coloring itself.  target is the color the construction
+// seeds (graph families also need a background color and use the first
+// palette color distinct from target).
+func (s *System) BuildInitial(ispec *InitialSpec, target Color) (*Construction, error) {
+	if ispec == nil {
+		return nil, fmt.Errorf("dynmon: nil initial spec")
+	}
+	if ispec.Cells != nil {
+		if ispec.Config != "" {
+			return nil, fmt.Errorf("dynmon: initial spec has both a named config %q and explicit cells", ispec.Config)
+		}
+		if ispec.Cells.Dims() != s.Dims() {
+			return nil, fmt.Errorf("dynmon: initial cells are %v, system is %v", ispec.Cells.Dims(), s.Dims())
+		}
+		c := ispec.Cells.Clone()
+		return s.wrapConstruction(c, "explicit", target), nil
+	}
+	if ispec.Config == "" {
+		return nil, fmt.Errorf("dynmon: initial spec needs a named config or explicit cells")
+	}
+	if s.graph != nil {
+		return s.buildGraphInitial(ispec, target)
+	}
+	return s.buildTorusInitial(ispec, target)
+}
+
+// wrapConstruction packages a plain coloring as a Construction for uniform
+// reporting.
+func (s *System) wrapConstruction(c *Coloring, name string, target Color) *Construction {
+	return &Construction{
+		Name:     name,
+		Topology: s.topo,
+		Target:   target,
+		Palette:  s.palette,
+		Seed:     c.Vertices(target),
+		Coloring: c,
+	}
+}
+
+// buildTorusInitial realizes the torus construction families.
+func (s *System) buildTorusInitial(ispec *InitialSpec, target Color) (*Construction, error) {
+	d := s.Dims()
+	palette := s.palette
+	switch ispec.Config {
+	case "cross", "blocked", "frozen":
+		if s.topo.Kind() != grid.KindToroidalMesh {
+			return nil, fmt.Errorf("dynmon: config %q is defined on the toroidal mesh", ispec.Config)
+		}
+	}
+	switch ispec.Config {
+	case "minimum":
+		return s.MinimumDynamo(target)
+	case "cross":
+		if palette.K >= 4 {
+			return dynamo.FullCross(d.Rows, d.Cols, target, palette)
+		}
+		// Two- and three-color crosses are used by the rule-comparison runs.
+		c := s.NewColoring(palette.Others(target)[0])
+		c.FillRow(0, target)
+		c.FillCol(0, target)
+		return s.wrapConstruction(c, "two-color-cross", target), nil
+	case "comb":
+		return dynamo.CombUpperBound(s.topo.Kind(), d.Rows, d.Cols, target, palette)
+	case "blocked":
+		return dynamo.BlockedCross(d.Rows, d.Cols, target, palette)
+	case "frozen":
+		return dynamo.FrozenTiling(d.Rows, d.Cols, target, palette)
+	case "random":
+		return s.wrapConstruction(s.RandomColoring(ispec.Seed), "random", target), nil
+	default:
+		return nil, fmt.Errorf("dynmon: unknown torus config %q (want minimum, cross, comb, random, blocked or frozen)", ispec.Config)
+	}
+}
+
+// buildGraphInitial realizes the graph seeding families.
+func (s *System) buildGraphInitial(ispec *InitialSpec, target Color) (*Construction, error) {
+	others := s.palette.Others(target)
+	if len(others) == 0 {
+		return nil, fmt.Errorf("dynmon: graph configs need a background color distinct from the target; use 2 or more colors")
+	}
+	background := others[0]
+	size := ispec.Size
+	if size <= 0 {
+		size = 8
+	}
+	var c *Coloring
+	switch ispec.Config {
+	case "hubs":
+		c = s.SeedTopByDegree(size, target, background)
+	case "random":
+		c = s.SeedRandom(size, target, background, ispec.Seed)
+	case "greedy":
+		seeds := s.GreedyTargetSet(target, background, size, 0, 30, ispec.Seed)
+		c = s.NewColoring(background)
+		for _, v := range seeds {
+			c.Set(v, target)
+		}
+	default:
+		return nil, fmt.Errorf("dynmon: unknown graph config %q (want hubs, random or greedy)", ispec.Config)
+	}
+	return &Construction{
+		Name:     ispec.Config,
+		Target:   target,
+		Palette:  s.palette,
+		Seed:     c.Vertices(target),
+		Coloring: c,
+	}, nil
+}
+
+// FileSpec is the complete declarative description of one run — the format
+// of spec files (-spec on the CLI tools): a system, an optional initial
+// configuration and the run options.  Initial may be omitted by tools that
+// only need the system (dynamosearch).
+type FileSpec struct {
+	System  Spec         `json:"system"`
+	Initial *InitialSpec `json:"initial,omitempty"`
+	Run     RunSpec      `json:"run"`
+}
+
+// ParseFileSpec decodes a spec file, strictly (unknown fields are errors).
+// A bare Spec document — one with a top-level "substrate" instead of a
+// "system" — is accepted too and wrapped in a FileSpec with empty initial
+// and run sections.
+func ParseFileSpec(data []byte) (*FileSpec, error) {
+	var probe struct {
+		Substrate *json.RawMessage `json:"substrate"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return nil, fmt.Errorf("dynmon: parsing spec file: %w", err)
+	}
+	if probe.Substrate != nil {
+		sp, err := ParseSpec(data)
+		if err != nil {
+			return nil, err
+		}
+		return &FileSpec{System: *sp}, nil
+	}
+	var fs FileSpec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&fs); err != nil {
+		return nil, fmt.Errorf("dynmon: parsing spec file: %w", err)
+	}
+	if err := ensureEOF(dec); err != nil {
+		return nil, err
+	}
+	if err := fs.System.Validate(); err != nil {
+		return nil, err
+	}
+	return &fs, nil
+}
+
+// JSON renders the spec file as indented JSON with a trailing newline.
+func (fs *FileSpec) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(fs, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

@@ -1,0 +1,168 @@
+package graphs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/rng"
+)
+
+// GenFactory builds a graph of n vertices from named float parameters and a
+// seed.  Factories must be deterministic in (n, params, seed) — a spec that
+// names a generator must rebuild the same graph on every machine — and must
+// reject unknown parameter names, so misspelled specs fail loudly instead of
+// silently running a default.
+type GenFactory func(n int, params map[string]float64, seed uint64) (*Graph, error)
+
+// genRegistry maps generator names (including aliases) to factories.
+var (
+	genRegistryMu sync.RWMutex
+	genRegistry   = map[string]GenFactory{}
+	genCanonical  = map[string]string{}
+)
+
+// RegisterGenerator makes a graph generator constructible through
+// GenerateByName under the given names (canonical name first, then aliases).
+// It is the extension point that lets callers plug new substrate families
+// into the spec layer without forking the repository.  Registering an empty
+// name, a nil factory or a taken name panics.
+func RegisterGenerator(factory GenFactory, names ...string) {
+	if len(names) == 0 {
+		panic("graphs: RegisterGenerator with no names")
+	}
+	if factory == nil {
+		panic(fmt.Sprintf("graphs: RegisterGenerator(%q) with nil factory", names[0]))
+	}
+	genRegistryMu.Lock()
+	defer genRegistryMu.Unlock()
+	for _, name := range names {
+		if name == "" {
+			panic("graphs: RegisterGenerator with empty name")
+		}
+		if _, dup := genRegistry[name]; dup {
+			panic(fmt.Sprintf("graphs: RegisterGenerator(%q) called twice", name))
+		}
+		genRegistry[name] = factory
+		genCanonical[name] = names[0]
+	}
+}
+
+// GenerateByName builds a graph through the generator registered under the
+// given name.
+func GenerateByName(name string, n int, params map[string]float64, seed uint64) (*Graph, error) {
+	genRegistryMu.RLock()
+	factory, ok := genRegistry[name]
+	genRegistryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("graphs: unknown generator %q", name)
+	}
+	return factory(n, params, seed)
+}
+
+// CanonicalGeneratorName resolves an alias to the canonical generator name
+// it was registered under, or returns an error for unknown names.
+func CanonicalGeneratorName(name string) (string, error) {
+	genRegistryMu.RLock()
+	defer genRegistryMu.RUnlock()
+	canonical, ok := genCanonical[name]
+	if !ok {
+		return "", fmt.Errorf("graphs: unknown generator %q", name)
+	}
+	return canonical, nil
+}
+
+// GeneratorNames returns every name GenerateByName accepts, sorted,
+// including aliases and externally registered generators.
+func GeneratorNames() []string {
+	genRegistryMu.RLock()
+	defer genRegistryMu.RUnlock()
+	out := make([]string, 0, len(genRegistry))
+	for name := range genRegistry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// checkParams rejects parameter maps mentioning names the generator does not
+// understand, and returns the value of each wanted parameter with its
+// default when absent.
+func checkParams(gen string, params map[string]float64, want map[string]float64) (map[string]float64, error) {
+	for name := range params {
+		if _, ok := want[name]; !ok {
+			return nil, fmt.Errorf("graphs: generator %q does not take parameter %q", gen, name)
+		}
+	}
+	out := make(map[string]float64, len(want))
+	for name, def := range want {
+		out[name] = def
+		if v, ok := params[name]; ok {
+			out[name] = v
+		}
+	}
+	return out, nil
+}
+
+// intParam converts a float parameter that must hold an integer (a count or
+// a degree), rejecting fractional values rather than truncating them.
+func intParam(gen, name string, v float64) (int, error) {
+	i := int(v)
+	if float64(i) != v {
+		return 0, fmt.Errorf("graphs: generator %q parameter %q must be an integer, got %v", gen, name, v)
+	}
+	return i, nil
+}
+
+func init() {
+	RegisterGenerator(func(n int, params map[string]float64, seed uint64) (*Graph, error) {
+		p, err := checkParams("barabasi-albert", params, map[string]float64{"m": 2})
+		if err != nil {
+			return nil, err
+		}
+		m, err := intParam("barabasi-albert", "m", p["m"])
+		if err != nil {
+			return nil, err
+		}
+		return NewBarabasiAlbert(n, m, rng.New(seed))
+	}, "barabasi-albert", "ba")
+
+	RegisterGenerator(func(n int, params map[string]float64, seed uint64) (*Graph, error) {
+		p, err := checkParams("watts-strogatz", params, map[string]float64{"k": 4, "beta": 0.1})
+		if err != nil {
+			return nil, err
+		}
+		k, err := intParam("watts-strogatz", "k", p["k"])
+		if err != nil {
+			return nil, err
+		}
+		return NewWattsStrogatz(n, k, p["beta"], rng.New(seed))
+	}, "watts-strogatz", "ws")
+
+	RegisterGenerator(func(n int, params map[string]float64, seed uint64) (*Graph, error) {
+		p, err := checkParams("erdos-renyi", params, map[string]float64{"p": 0.05})
+		if err != nil {
+			return nil, err
+		}
+		return NewErdosRenyi(n, p["p"], rng.New(seed))
+	}, "erdos-renyi", "er")
+
+	RegisterGenerator(func(n int, params map[string]float64, seed uint64) (*Graph, error) {
+		p, err := checkParams("random-regular", params, map[string]float64{"d": 4})
+		if err != nil {
+			return nil, err
+		}
+		d, err := intParam("random-regular", "d", p["d"])
+		if err != nil {
+			return nil, err
+		}
+		return NewRandomRegular(n, d, rng.New(seed))
+	}, "random-regular")
+
+	RegisterGenerator(func(n int, params map[string]float64, _ uint64) (*Graph, error) {
+		if _, err := checkParams("ring", params, map[string]float64{}); err != nil {
+			return nil, err
+		}
+		return NewRing(n)
+	}, "ring")
+}

@@ -1,0 +1,69 @@
+package graphs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestGeneratorsDeterministicInSeed pins the registry contract specs rely
+// on: the same (name, n, params, seed) triple produces the same graph, and
+// different seeds produce different graphs (for the randomized families).
+func TestGeneratorsDeterministicInSeed(t *testing.T) {
+	for _, name := range GeneratorNames() {
+		a, err := GenerateByName(name, 36, nil, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		b, err := GenerateByName(name, 36, nil, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if a.N() != b.N() || a.EdgeCount() != b.EdgeCount() {
+			t.Fatalf("%s: same seed, different shape", name)
+		}
+		for v := 0; v < a.N(); v++ {
+			av, bv := a.Neighbors(v), b.Neighbors(v)
+			if len(av) != len(bv) {
+				t.Fatalf("%s: same seed, vertex %d degree %d vs %d", name, v, len(av), len(bv))
+			}
+			for i := range av {
+				if av[i] != bv[i] {
+					t.Fatalf("%s: same seed, vertex %d neighbors differ", name, v)
+				}
+			}
+		}
+	}
+}
+
+// TestGeneratorRejectsUnknownParams pins that misspelled spec parameters
+// fail loudly instead of silently running defaults.
+func TestGeneratorRejectsUnknownParams(t *testing.T) {
+	if _, err := GenerateByName("barabasi-albert", 20, map[string]float64{"mm": 2}, 1); err == nil || !strings.Contains(err.Error(), "mm") {
+		t.Fatalf("unknown parameter not rejected by name: %v", err)
+	}
+	if _, err := GenerateByName("barabasi-albert", 20, map[string]float64{"m": 2.5}, 1); err == nil {
+		t.Fatal("fractional integer parameter accepted")
+	}
+	if _, err := GenerateByName("nonesuch", 20, nil, 1); err == nil {
+		t.Fatal("unknown generator accepted")
+	}
+}
+
+// TestGeneratorAliases pins alias resolution and canonicalization.
+func TestGeneratorAliases(t *testing.T) {
+	for alias, canonical := range map[string]string{
+		"ba": "barabasi-albert", "ws": "watts-strogatz", "er": "erdos-renyi",
+		"barabasi-albert": "barabasi-albert", "ring": "ring",
+	} {
+		got, err := CanonicalGeneratorName(alias)
+		if err != nil {
+			t.Fatalf("%s: %v", alias, err)
+		}
+		if got != canonical {
+			t.Fatalf("%s canonicalized to %s, want %s", alias, got, canonical)
+		}
+	}
+	if _, err := CanonicalGeneratorName("nonesuch"); err == nil {
+		t.Fatal("unknown generator canonicalized")
+	}
+}

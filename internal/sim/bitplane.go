@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"context"
 	"errors"
 	"fmt"
 	"math/bits"
@@ -435,105 +434,10 @@ func rotateBits(dst, src []uint64, nbits, s int, tailMask uint64) {
 // auto-tier sequential runs: after downshiftRounds consecutive rounds with
 // changed·downshiftFactor < n, the dirty frontier (whose per-round cost
 // scales with the change count, not n) is cheaper than the fixed word work
-// of the bitplane and the run switches steppers.
+// of the bitplane and the run switches steppers.  The handoff itself lives
+// in bitplaneDriver.downshift (stream.go), the tier's view through the
+// engine's single round loop.
 const (
 	downshiftFactor = 32
 	downshiftRounds = 2
 )
-
-// runBitplane is RunContext's bitplane driver, entered with the eligibility
-// products (k, plan, kern) the caller derived when selecting the tier.
-// forced marks a run with an explicit Options.Kernel = KernelBitplane: it
-// supports observers and history by unpacking per round and never
-// downshifts to the frontier.
-func (e *Engine) runBitplane(ctx context.Context, st *runState, initial *color.Coloring, opt Options, maxRounds, workers int, forced bool, k int, plan *grid.ShiftPlan, kern rules.BitKernel) (*Result, error) {
-	if st.bp == nil {
-		st.bp = e.newBitplaneBuffers()
-	}
-	bp := st.bp
-	if err := bp.resetWith(initial, k, plan, kern); err != nil {
-		return nil, err
-	}
-	bp.DetectCycles(opt.DetectCycles)
-	d := e.sub.Dims()
-	res := &Result{MonotoneTarget: true, Workers: workers, Kernel: KernelBitplane}
-	trackTarget := opt.Target != color.None
-	if trackTarget {
-		res.FirstReached = make([]int, d.N())
-		for v := 0; v < d.N(); v++ {
-			if initial.At(v) == opt.Target {
-				res.FirstReached[v] = 0
-			} else {
-				res.FirstReached[v] = -1
-			}
-		}
-		bp.targetMask(bp.tgtPrev, opt.Target)
-		copy(bp.tgtEver, bp.tgtPrev)
-	}
-
-	lowChurn := 0
-	for round := 1; round <= maxRounds; round++ {
-		if err := ctx.Err(); err != nil {
-			return finishAborted(res, bp.Config(), opt), err
-		}
-		changed := bp.stepStriped(st, workers)
-		res.Rounds = round
-		res.ChangesPerRound = append(res.ChangesPerRound, changed)
-
-		if trackTarget {
-			bp.targetMask(bp.tgtCur, opt.Target)
-			for w := 0; w < bp.words; w++ {
-				if bp.tgtPrev[w]&^bp.tgtCur[w] != 0 {
-					res.MonotoneTarget = false
-				}
-				newly := bp.tgtCur[w] &^ bp.tgtEver[w]
-				for newly != 0 {
-					b := bits.TrailingZeros64(newly)
-					newly &= newly - 1
-					res.FirstReached[w<<6+b] = round
-				}
-				bp.tgtEver[w] |= bp.tgtCur[w]
-			}
-			bp.tgtPrev, bp.tgtCur = bp.tgtCur, bp.tgtPrev
-		}
-		if opt.RecordHistory {
-			res.History = append(res.History, bp.Config().Clone())
-		}
-		for _, o := range opt.Observers {
-			o.OnRound(round, bp.Config())
-		}
-
-		if changed == 0 {
-			res.FixedPoint = true
-			break
-		}
-		if opt.StopWhenMonochromatic && bp.Monochromatic() {
-			break
-		}
-		if opt.DetectCycles && bp.Cycle() {
-			res.Cycle = true
-			break
-		}
-		// Downshift: hand the run to the dirty-frontier stepper once the
-		// change rate stays low (sequential auto-tier runs only — the
-		// frontier is single-goroutine, and a forced tier is a contract).
-		if !forced && workers == 1 && round < maxRounds {
-			if changed*downshiftFactor < bp.nbits {
-				lowChurn++
-			} else {
-				lowChurn = 0
-			}
-			if lowChurn >= downshiftRounds {
-				st.frontier(e).seedFromBitplane(bp)
-				res.Downshift = round + 1
-				return e.frontierLoop(ctx, st, res, opt, round+1, maxRounds)
-			}
-		}
-	}
-
-	finish(res, bp.Config(), opt)
-	for _, o := range opt.Observers {
-		o.OnFinish(res)
-	}
-	return res, nil
-}

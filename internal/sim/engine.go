@@ -32,6 +32,7 @@ package sim
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"reflect"
@@ -94,6 +95,48 @@ func (k Kernel) String() string {
 	default:
 		return fmt.Sprintf("Kernel(%d)", int(k))
 	}
+}
+
+// ParseKernel resolves a tier name ("auto", "bitplane", "frontier", "sweep",
+// "parallel"; "" means auto) to its Kernel, the inverse of String.
+func ParseKernel(name string) (Kernel, error) {
+	switch name {
+	case "", "auto":
+		return KernelAuto, nil
+	case "bitplane":
+		return KernelBitplane, nil
+	case "frontier":
+		return KernelFrontier, nil
+	case "sweep":
+		return KernelSweep, nil
+	case "parallel":
+		return KernelParallel, nil
+	default:
+		return KernelAuto, fmt.Errorf("sim: unknown kernel %q (want auto, bitplane, frontier, sweep or parallel)", name)
+	}
+}
+
+// MarshalJSON encodes the kernel as its tier name, the stable wire form.
+func (k Kernel) MarshalJSON() ([]byte, error) {
+	name := k.String()
+	if _, err := ParseKernel(name); err != nil {
+		return nil, fmt.Errorf("sim: cannot marshal %s", name)
+	}
+	return json.Marshal(name)
+}
+
+// UnmarshalJSON decodes a tier name produced by MarshalJSON.
+func (k *Kernel) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return err
+	}
+	parsed, err := ParseKernel(name)
+	if err != nil {
+		return err
+	}
+	*k = parsed
+	return nil
 }
 
 // Substrate is the minimal seam between an interaction substrate and the
@@ -252,45 +295,54 @@ func (o Options) EffectiveWorkers(n int) int {
 // "budget too small".
 func DefaultMaxRounds(d grid.Dims) int { return d.N() + 2*(d.Rows+d.Cols) + 16 }
 
-// Result describes a finished simulation run.
+// Result describes a finished simulation run.  The JSON field tags are a
+// stable wire contract: reports built over results are served directly, with
+// no second DTO layer (colorings marshal as {rows, cols, cells} objects and
+// the kernel as its tier name).
 type Result struct {
 	// Rounds is the number of rounds executed.
-	Rounds int
+	Rounds int `json:"rounds"`
 	// Workers is the effective number of stepping goroutines used: 1 on
 	// the sequential path, Options.EffectiveWorkers on the parallel path.
-	Workers int
+	Workers int `json:"workers"`
 	// Kernel is the stepping tier that executed the run (never KernelAuto).
 	// A hybrid auto run that started on the bitplane kernel and downshifted
 	// reports KernelBitplane with the switch round in Downshift.
-	Kernel Kernel
+	Kernel Kernel `json:"kernel"`
 	// Downshift is the round at which an auto-tier bitplane run handed the
 	// remaining rounds to the dirty-frontier stepper, or 0 when it never
 	// did.  The handoff is exact: the result is bit-identical either way.
-	Downshift int
+	Downshift int `json:"downshift,omitempty"`
 	// FixedPoint reports that the last round changed no vertex.
-	FixedPoint bool
+	FixedPoint bool `json:"fixed_point"`
 	// Cycle reports that a period-2 oscillation was detected.
-	Cycle bool
+	Cycle bool `json:"cycle"`
 	// Monochromatic reports that the final configuration is monochromatic,
 	// and FinalColor carries its color.
-	Monochromatic bool
-	FinalColor    color.Color
+	Monochromatic bool        `json:"monochromatic"`
+	FinalColor    color.Color `json:"final_color"`
 	// MonotoneTarget reports that the set of Target-colored vertices never
 	// lost a vertex during the run (Definition 3).  It is meaningful only
 	// when Options.Target was set.
-	MonotoneTarget bool
+	MonotoneTarget bool `json:"monotone_target"`
 	// FirstReached[v] is the first round (0 = initially) at which vertex v
 	// carried the Target color, or -1 if it never did.  Nil when
 	// Options.Target was not set.
-	FirstReached []int
+	FirstReached []int `json:"first_reached,omitempty"`
 	// ChangesPerRound[i] is the number of vertices that changed color in
 	// round i+1.
-	ChangesPerRound []int
+	ChangesPerRound []int `json:"changes_per_round,omitempty"`
 	// Final is the configuration at the end of the run.
-	Final *color.Coloring
+	Final *color.Coloring `json:"final,omitempty"`
 	// History holds the configuration after every round when
 	// Options.RecordHistory was set (History[0] is the state after round 1).
-	History []*color.Coloring
+	History []*color.Coloring `json:"history,omitempty"`
+
+	// prev is the configuration one round before Final, snapshotted so
+	// ResumeState can emit a checkpoint (with its cycle-detector seed) from
+	// a finished or aborted result.  Not serialized: the public checkpoint
+	// format lives in the dynmon package.
+	prev *color.Coloring
 }
 
 // ReachedAll reports whether every vertex reached the target color at some
@@ -661,176 +713,12 @@ func (e *Engine) Run(initial *color.Coloring, opt Options) *Result {
 // the automatic selection).  All tiers are bit-identical; a forced
 // KernelBitplane that does not qualify returns a nil Result and an error
 // wrapping ErrBitplaneIneligible.
+//
+// RunContext is a drain of Stream: the round loop, the stop conditions and
+// the Observer plumbing are the streaming ones, so batch and streaming
+// consumers cannot drift.
 func (e *Engine) RunContext(ctx context.Context, initial *color.Coloring, opt Options) (*Result, error) {
-	d := e.sub.Dims()
-	if initial.Dims() != d {
-		panic(fmt.Sprintf("sim: Run dimension mismatch %v vs %v", initial.Dims(), d))
-	}
-	maxRounds := opt.MaxRounds
-	if maxRounds <= 0 {
-		maxRounds = e.sub.DefaultMaxRounds()
-	}
-	workers := opt.EffectiveWorkers(d.N())
-
-	st := e.getState(opt.FreshBuffers)
-	defer e.putState(st, opt.FreshBuffers)
-
-	switch opt.Kernel {
-	case KernelBitplane, KernelFrontier:
-		if opt.TimeVarying != nil {
-			return nil, fmt.Errorf("%w: kernel %v re-evaluates only vertices whose neighborhood changed color, but link churn can change a vertex's input without any color changing", ErrTimeVaryingSweepOnly, opt.Kernel)
-		}
-	}
-
-	switch opt.Kernel {
-	case KernelBitplane:
-		k, plan, kern, err := e.bitplaneCheck(initial)
-		if err != nil {
-			return nil, err
-		}
-		return e.runBitplane(ctx, st, initial, opt, maxRounds, workers, true, k, plan, kern)
-	case KernelFrontier:
-		return e.runFrontier(ctx, st, initial, opt, maxRounds)
-	case KernelSweep:
-		return e.runSweep(ctx, st, initial, opt, maxRounds, 1, KernelSweep)
-	case KernelParallel:
-		if workers <= 1 {
-			par := opt
-			par.Parallel = true
-			workers = par.EffectiveWorkers(d.N())
-		}
-		return e.runSweep(ctx, st, initial, opt, maxRounds, workers, KernelParallel)
-	case KernelAuto:
-	default:
-		return nil, fmt.Errorf("sim: unknown kernel %v", opt.Kernel)
-	}
-
-	// Automatic selection.  Time-varying runs are pinned to the full-sweep
-	// steppers (see Options.TimeVarying).  Otherwise the bitplane tier wins
-	// whenever it applies and the run does not need a scalar view of every
-	// round (observers and history would force an unpack per round, erasing
-	// its advantage); FullSweep keeps its contract as the oracle stepper.
-	if opt.TimeVarying == nil {
-		if !opt.FullSweep && !opt.RecordHistory && len(opt.Observers) == 0 {
-			if k, plan, kern, err := e.bitplaneCheck(initial); err == nil {
-				return e.runBitplane(ctx, st, initial, opt, maxRounds, workers, false, k, plan, kern)
-			}
-		}
-		if workers == 1 && !opt.FullSweep {
-			return e.runFrontier(ctx, st, initial, opt, maxRounds)
-		}
-	}
-	kernel := KernelSweep
-	if workers > 1 {
-		kernel = KernelParallel
-	}
-	return e.runSweep(ctx, st, initial, opt, maxRounds, workers, kernel)
-}
-
-// runSweep is the full-sweep driver: the original double-buffered loop over
-// all n vertices every round, sequentially or striped across workers.  It is
-// the oracle the frontier path is differentially tested against.  kernel is
-// the tier label to record: a forced KernelParallel reports as parallel even
-// when the effective worker count degenerates to one.
-func (e *Engine) runSweep(ctx context.Context, st *runState, initial *color.Coloring, opt Options, maxRounds, workers int, kernel Kernel) (*Result, error) {
-	d := e.sub.Dims()
-	// A time-varying model that is declaratively static (always-on) keeps
-	// the static fixed-point semantics; a genuinely intermittent one must
-	// keep sweeping after a zero-change round, because returning links can
-	// wake the dynamics again.
-	tv := opt.TimeVarying
-	fixedPointStops := tv == nil || staticAvailability(tv)
-	cur := st.cur
-	cur.CopyFrom(initial)
-	next := st.next
-	var prevPrev *color.Coloring
-	if opt.DetectCycles {
-		if st.prevPrev == nil {
-			st.prevPrev = color.NewColoring(d, color.None)
-		}
-		prevPrev = st.prevPrev
-		prevPrev.CopyFrom(initial)
-	}
-
-	res := &Result{MonotoneTarget: true, Workers: workers, Kernel: kernel}
-	if opt.Target != color.None {
-		res.FirstReached = make([]int, d.N())
-		for v := 0; v < d.N(); v++ {
-			if cur.At(v) == opt.Target {
-				res.FirstReached[v] = 0
-			} else {
-				res.FirstReached[v] = -1
-			}
-		}
-	}
-
-	for round := 1; round <= maxRounds; round++ {
-		if err := ctx.Err(); err != nil {
-			return finishAborted(res, cur, opt), err
-		}
-		var changed int
-		switch {
-		case tv != nil && workers > 1:
-			changed = e.stepParallelTV(round, tv, cur.Cells(), next.Cells(), workers, st)
-		case tv != nil:
-			changed = e.stepRangeTV(round, tv, cur.Cells(), next.Cells(), 0, d.N(), st.scratch)
-		case workers > 1:
-			changed = e.stepParallel(cur.Cells(), next.Cells(), workers, st)
-		default:
-			changed = e.stepRange(cur.Cells(), next.Cells(), 0, d.N(), st.scratch)
-		}
-		res.Rounds = round
-		res.ChangesPerRound = append(res.ChangesPerRound, changed)
-
-		if opt.Target != color.None {
-			for v := 0; v < d.N(); v++ {
-				got, had := next.At(v) == opt.Target, cur.At(v) == opt.Target
-				if had && !got {
-					res.MonotoneTarget = false
-				}
-				if got && res.FirstReached[v] < 0 {
-					res.FirstReached[v] = round
-				}
-			}
-		}
-		if opt.RecordHistory {
-			res.History = append(res.History, next.Clone())
-		}
-		for _, o := range opt.Observers {
-			o.OnRound(round, next)
-		}
-
-		if changed == 0 && fixedPointStops {
-			res.FixedPoint = true
-			cur, next = next, cur
-			break
-		}
-		if opt.StopWhenMonochromatic {
-			if _, ok := next.IsMonochromatic(); ok {
-				cur, next = next, cur
-				break
-			}
-		}
-		// Period-2 detection shares the fixed-point gating: on a non-static
-		// network, matching the configuration of two rounds ago proves
-		// nothing — a quiet spell under bad link draws is not a cycle, and
-		// returning links can change the dynamics' course.
-		if opt.DetectCycles && fixedPointStops {
-			if next.Equal(prevPrev) {
-				res.Cycle = true
-				cur, next = next, cur
-				break
-			}
-			prevPrev.CopyFrom(cur)
-		}
-		cur, next = next, cur
-	}
-
-	finish(res, cur, opt)
-	for _, o := range opt.Observers {
-		o.OnFinish(res)
-	}
-	return res, nil
+	return drainStream(e.Stream(ctx, initial, opt))
 }
 
 // finish fills the terminal fields of a completed run from the final

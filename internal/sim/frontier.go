@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"context"
 	"fmt"
 
 	"repro/internal/color"
@@ -107,8 +106,18 @@ func (f *Frontier) Reset(initial *color.Coloring) {
 		panic(fmt.Sprintf("sim: Frontier.Reset dimension mismatch %v vs %v", initial.Dims(), f.cfg.Dims()))
 	}
 	f.cfg.CopyFrom(initial)
-	n := f.cfg.N()
 	f.round = 0
+	f.clearTrace()
+	f.scheduleAll()
+}
+
+// clearTrace rewinds every piece of per-run bookkeeping — epoch marks,
+// period-2 trace, change journal, cycle state — and rebuilds the color
+// histogram from the current configuration.  It is the shared tail of
+// Reset, seedFromBitplane and seedFromCheckpoint; callers overwrite the
+// fields their seed state knows better (prevChanged, cycle, lastRound
+// entries) afterwards.
+func (f *Frontier) clearTrace() {
 	f.prevChanged = 0
 	f.cycle = false
 	for i := range f.epoch {
@@ -117,20 +126,25 @@ func (f *Frontier) Reset(initial *color.Coloring) {
 	for i := range f.lastRound {
 		f.lastRound[i] = -1
 	}
-	// Round 1 evaluates everything.
-	f.queue = f.queue[:0]
-	for v := 0; v < n; v++ {
-		f.queue = append(f.queue, int32(v))
-		f.epoch[v] = 1
-	}
 	f.chV, f.chOld, f.chNew = f.chV[:0], f.chOld[:0], f.chNew[:0]
-	// Histogram of the initial configuration.
 	for i := range f.hist {
 		f.hist[i] = 0
 	}
 	f.nonzero = 0
 	for _, c := range f.cfg.Cells() {
 		f.histInc(c)
+	}
+}
+
+// scheduleAll queues every vertex for round f.round+1 — the "nothing is
+// known about the last round" schedule used at round 0 and by prev-less
+// checkpoint seeds.
+func (f *Frontier) scheduleAll() {
+	mark := int32(f.round) + 1
+	f.queue = f.queue[:0]
+	for v := 0; v < f.cfg.N(); v++ {
+		f.queue = append(f.queue, int32(v))
+		f.epoch[v] = mark
 	}
 }
 
@@ -307,22 +321,9 @@ func (f *Frontier) Step() int {
 func (f *Frontier) seedFromBitplane(bp *Bitplane) {
 	bp.Unpack(f.cfg)
 	f.round = bp.round
+	f.clearTrace()
 	f.prevChanged = bp.prevChanged
 	f.cycle = bp.cycle
-	for i := range f.epoch {
-		f.epoch[i] = 0
-	}
-	for i := range f.lastRound {
-		f.lastRound[i] = -1
-	}
-	f.chV, f.chOld, f.chNew = f.chV[:0], f.chOld[:0], f.chNew[:0]
-	for i := range f.hist {
-		f.hist[i] = 0
-	}
-	f.nonzero = 0
-	for _, c := range f.cfg.Cells() {
-		f.histInc(c)
-	}
 	// Schedule round bp.round+1 exactly as Step would have: the vertices
 	// that changed in the bitplane's last round and everyone who reads them,
 	// while seeding the period-2 trace with those vertices' previous colors.
@@ -346,76 +347,54 @@ func (f *Frontier) seedFromBitplane(bp *Bitplane) {
 	})
 }
 
-// runFrontier is RunContext's sequential driver over a pooled frontier.  It
-// mirrors runSweep's control flow exactly — same stop conditions checked in
-// the same order — with all per-round bookkeeping done on the change journal
-// instead of the full lattice.
-func (e *Engine) runFrontier(ctx context.Context, st *runState, initial *color.Coloring, opt Options, maxRounds int) (*Result, error) {
-	d := e.sub.Dims()
-	st.frontier(e).Reset(initial)
+// seedFromCheckpoint rewinds the frontier onto an interrupted run's state:
+// the configuration at the end of round `round` plus, when known, the
+// configuration one round earlier.  Diffing the two reconstructs exactly the
+// change journal of round `round` — the vertices that changed, with their
+// colors before the change — which seeds the period-2 trace, the previous
+// change count and the dirty queue for round round+1 precisely as Step would
+// have left them, so the resumed run is bit-identical to an uninterrupted
+// one.  With prev == nil the journal is unknown: the next round re-evaluates
+// every vertex (a sound superset — untouched vertices reproduce their
+// colors) and cycle detection restarts, so a period-2 oscillation spanning
+// the checkpoint boundary is detected two rounds later than an uninterrupted
+// run would have.
+func (f *Frontier) seedFromCheckpoint(cfg, prev *color.Coloring, round int) {
+	if cfg.Dims() != f.cfg.Dims() {
+		panic(fmt.Sprintf("sim: Frontier.seedFromCheckpoint dimension mismatch %v vs %v", cfg.Dims(), f.cfg.Dims()))
+	}
+	f.cfg.CopyFrom(cfg)
+	f.round = round
+	f.clearTrace()
+	if prev == nil {
+		// Nothing is known about round `round`: schedule everything.
+		f.scheduleAll()
+		return
+	}
 
-	res := &Result{MonotoneTarget: true, Workers: 1, Kernel: KernelFrontier}
-	if opt.Target != color.None {
-		res.FirstReached = make([]int, d.N())
-		for v := 0; v < d.N(); v++ {
-			if initial.At(v) == opt.Target {
-				res.FirstReached[v] = 0
-			} else {
-				res.FirstReached[v] = -1
+	r := int32(round)
+	mark := r + 1
+	f.queue = f.queue[:0]
+	rev, revOff := f.e.csr.Rev, f.e.csr.RevOff
+	cells := f.cfg.Cells()
+	prevCells := prev.Cells()
+	for v := range cells {
+		if prevCells[v] == cells[v] {
+			continue
+		}
+		f.prevChanged++
+		f.lastRound[v] = r
+		f.lastOld[v] = prevCells[v]
+		v32 := int32(v)
+		if f.epoch[v] != mark {
+			f.epoch[v] = mark
+			f.queue = append(f.queue, v32)
+		}
+		for _, u := range rev[revOff[v]:revOff[v+1]] {
+			if f.epoch[u] != mark {
+				f.epoch[u] = mark
+				f.queue = append(f.queue, u)
 			}
 		}
 	}
-	return e.frontierLoop(ctx, st, res, opt, 1, maxRounds)
-}
-
-// frontierLoop drives rounds [fromRound, maxRounds] on the state's frontier,
-// accumulating into a Result whose pre-round fields (FirstReached, earlier
-// ChangesPerRound entries) the caller has initialized.  fromRound > 1 is the
-// hybrid continuation after a bitplane downshift.
-func (e *Engine) frontierLoop(ctx context.Context, st *runState, res *Result, opt Options, fromRound, maxRounds int) (*Result, error) {
-	f := st.f
-	for round := fromRound; round <= maxRounds; round++ {
-		if err := ctx.Err(); err != nil {
-			return finishAborted(res, f.cfg, opt), err
-		}
-		changed := f.Step()
-		res.Rounds = round
-		res.ChangesPerRound = append(res.ChangesPerRound, changed)
-
-		if opt.Target != color.None {
-			for i, v := range f.chV {
-				old, nc := f.chOld[i], f.chNew[i]
-				if old == opt.Target && nc != opt.Target {
-					res.MonotoneTarget = false
-				}
-				if nc == opt.Target && res.FirstReached[v] < 0 {
-					res.FirstReached[v] = round
-				}
-			}
-		}
-		if opt.RecordHistory {
-			res.History = append(res.History, f.cfg.Clone())
-		}
-		for _, o := range opt.Observers {
-			o.OnRound(round, f.cfg)
-		}
-
-		if changed == 0 {
-			res.FixedPoint = true
-			break
-		}
-		if opt.StopWhenMonochromatic && f.Monochromatic() {
-			break
-		}
-		if opt.DetectCycles && f.Cycle() {
-			res.Cycle = true
-			break
-		}
-	}
-
-	finish(res, f.cfg, opt)
-	for _, o := range opt.Observers {
-		o.OnFinish(res)
-	}
-	return res, nil
 }
