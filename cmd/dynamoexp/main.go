@@ -24,7 +24,6 @@ import (
 	"os"
 
 	"repro/dynmon"
-	"repro/internal/color"
 )
 
 func main() {
@@ -101,18 +100,8 @@ func runSpec(file string) {
 	if err != nil {
 		fatal(err)
 	}
-	sys, err := fs.System.New()
-	if err != nil {
-		fatal(err)
-	}
-	target := fs.Run.Target
-	if target == color.None {
-		target = 1
-	}
-	if fs.Initial == nil {
-		fatal(fmt.Errorf("spec %s has no initial section", file))
-	}
-	cons, err := sys.BuildInitial(fs.Initial, target)
+	// FileSpec.Build is the one shared construction path; see dynamosim.
+	sys, cons, _, err := fs.Build()
 	if err != nil {
 		fatal(err)
 	}

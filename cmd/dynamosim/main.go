@@ -40,6 +40,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -76,6 +77,7 @@ func main() {
 		cpAfter   = flag.Int("checkpoint-after", 0, "stream the run, write a checkpoint after this round and exit")
 		cpFile    = flag.String("checkpoint", "checkpoint.json", "checkpoint file written by -checkpoint-after")
 		resume    = flag.String("resume", "", "resume the run checkpointed in this file (requires the checkpoint to carry its system spec)")
+		resJSON   = flag.Bool("result-json", false, "print the terminal Result as one compact JSON line instead of the human report — the exact bytes dynmond streams and caches for the same spec")
 	)
 	flag.Parse()
 
@@ -87,7 +89,7 @@ func main() {
 	}
 
 	if *resume != "" {
-		resumeRun(ctx, *resume)
+		resumeRun(ctx, *resume, *resJSON)
 		return
 	}
 
@@ -115,18 +117,10 @@ func main() {
 		return
 	}
 
-	sys, err := fs.System.New()
-	if err != nil {
-		fatal(err)
-	}
-	tgt := fs.Run.Target
-	if tgt == color.None {
-		tgt = 1
-	}
-	if fs.Initial == nil {
-		fatal(fmt.Errorf("spec has no initial section"))
-	}
-	cons, err := sys.BuildInitial(fs.Initial, tgt)
+	// Build through the one shared path (FileSpec.Build) so the run this
+	// invocation denotes is byte-identical to what every other spec consumer
+	// — dynamoexp, the dynserve HTTP server — would execute.
+	sys, cons, tgt, err := fs.Build()
 	if err != nil {
 		fatal(err)
 	}
@@ -137,11 +131,30 @@ func main() {
 	}
 
 	runOpts := []dynmon.RunOption{dynmon.WithRunSpec(fs.Run)}
+	if *resJSON {
+		runResultJSON(ctx, sys, cons, runOpts)
+		return
+	}
 	if sys.Graph() != nil {
 		runGraph(ctx, sys, cons, tgt, runOpts)
 		return
 	}
 	runTorus(ctx, sys, cons, tgt, runOpts, *render, *animate, *timing)
+}
+
+// runResultJSON runs the spec and prints the terminal Result as one compact
+// JSON line — the machine-facing twin of the human reports, and the form CI
+// diffs against the dynserve server's streamed/cached results.
+func runResultJSON(ctx context.Context, sys *dynmon.System, cons *dynmon.Construction, runOpts []dynmon.RunOption) {
+	res, err := sys.Run(ctx, cons.Coloring, runOpts...)
+	if err != nil {
+		fatal(err)
+	}
+	out, err := json.Marshal(res)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(string(out))
 }
 
 // fileSpecFromFlags assembles the declarative form of a flag invocation —
@@ -275,7 +288,7 @@ func checkpointRun(ctx context.Context, sys *dynmon.System, initial *dynmon.Colo
 
 // resumeRun continues a checkpointed run; the checkpoint must carry its
 // system spec (checkpoints written by this tool do).
-func resumeRun(ctx context.Context, file string) {
+func resumeRun(ctx context.Context, file string, resJSON bool) {
 	data, err := os.ReadFile(file)
 	if err != nil {
 		fatal(err)
@@ -294,6 +307,14 @@ func resumeRun(ctx context.Context, file string) {
 	res, err := sys.Resume(ctx, cp)
 	if err != nil {
 		fatal(err)
+	}
+	if resJSON {
+		out, err := json.Marshal(res)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(out))
+		return
 	}
 	fmt.Printf("resumed at round %d on %s\n", cp.Round+1, sys)
 	fmt.Printf("rounds=%d kernel=%s fixed-point=%v cycle=%v monochromatic=%v final-color=%v\n",

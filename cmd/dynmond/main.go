@@ -1,0 +1,90 @@
+// Command dynmond serves dynamo simulations over HTTP: spec in, stream out.
+// It is a thin binary over repro/dynserve — see that package for the
+// endpoint table and the determinism/cache contract.
+//
+//	dynmond -addr :8080 -workers 8 -queue 256
+//
+// Submit a run and stream its rounds as NDJSON:
+//
+//	curl -sN -d @specs/mesh-9x9-minimum.json localhost:8080/v1/runs
+//
+// Or fetch just the terminal Result (exactly the bytes dynamosim -spec
+// -result-json prints for the same file):
+//
+//	curl -s -H 'Accept: application/json' -d @run.json localhost:8080/v1/runs
+//
+// On SIGINT/SIGTERM the server drains: in-flight runs finish or are evicted
+// to checkpoints, new submissions get 503, and the process exits when the
+// pool is idle or -drain-timeout expires.
+package main
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/dynserve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		workers      = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		queue        = flag.Int("queue", 0, "max submissions waiting for a worker before shedding with 429 (0 = default 64)")
+		cache        = flag.Int("cache", 0, "result cache entries (0 = default 1024)")
+		cpEvery      = flag.Int("checkpoint-every", 0, "job checkpoint cadence in rounds (0 = default 64, negative disables)")
+		runTimeout   = flag.Duration("run-timeout", 0, "per-run budget (0 = default 5m, negative disables)")
+		maxBody      = flag.Int64("max-request-bytes", 0, "request body cap (0 = default 1MiB)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for runs to settle")
+	)
+	flag.Parse()
+
+	srv := dynserve.New(dynserve.Config{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		CacheEntries:    *cache,
+		CheckpointEvery: *cpEvery,
+		RunTimeout:      *runTimeout,
+		MaxRequestBytes: *maxBody,
+	})
+	expvar.Publish("dynmond", expvar.Func(func() any { return srv.Metrics().Snapshot() }))
+
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	httpServer := &http.Server{Addr: *addr, Handler: mux}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpServer.ListenAndServe() }()
+	log.Printf("dynmond listening on %s", *addr)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("dynmond: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("dynmond draining (up to %s)", *drainTimeout)
+	deadline, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	drainErr := srv.Drain(deadline)
+	if err := httpServer.Shutdown(deadline); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("dynmond: shutdown: %v", err)
+	}
+	if drainErr != nil {
+		fmt.Fprintf(os.Stderr, "dynmond: drain: %v\n", drainErr)
+		os.Exit(1)
+	}
+	log.Printf("dynmond stopped")
+}

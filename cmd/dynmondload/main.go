@@ -1,0 +1,83 @@
+// Command dynmondload load-tests a running dynmond server: it submits runs
+// concurrently (buffered mode, one request = one terminal Result) and
+// reports throughput and latency percentiles, optionally as a benchjson/v1
+// file that cmd/benchjson gates against a checked-in baseline.
+//
+//	dynmond -addr :8080 &
+//	dynmondload -url http://127.0.0.1:8080 -spec specs/mesh-9x9-minimum.json -n 2000 -c 128 -o BENCH_dynmond.json
+//
+// The exit status is nonzero when any request fails with a real error;
+// 429 shedding is counted separately (it is the server's specified overload
+// behavior, not a failure).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/dynserve/loadtest"
+)
+
+func main() {
+	var (
+		url     = flag.String("url", "http://127.0.0.1:8080", "dynmond base URL")
+		specs   = flag.String("spec", "", "comma-separated spec files to submit round-robin (required)")
+		total   = flag.Int("n", 1000, "total submissions")
+		conc    = flag.Int("c", 64, "concurrent clients")
+		timeout = flag.Duration("timeout", 30*time.Second, "per-request timeout")
+		out     = flag.String("o", "", "write a benchjson/v1 report to this file")
+	)
+	flag.Parse()
+
+	if *specs == "" {
+		fmt.Fprintln(os.Stderr, "dynmondload: -spec is required")
+		os.Exit(2)
+	}
+	var bodies [][]byte
+	for _, path := range strings.Split(*specs, ",") {
+		b, err := os.ReadFile(strings.TrimSpace(path))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dynmondload: %v\n", err)
+			os.Exit(2)
+		}
+		bodies = append(bodies, b)
+	}
+
+	rep, err := loadtest.Run(context.Background(), loadtest.Options{
+		URL:         *url,
+		Specs:       bodies,
+		Total:       *total,
+		Concurrency: *conc,
+		Timeout:     *timeout,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dynmondload: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("total=%d ok=%d shed=%d errors=%d elapsed=%s throughput=%.1f req/s\n",
+		rep.Total, rep.OK, rep.Shed, rep.Errors, rep.Elapsed.Round(time.Millisecond), rep.Throughput)
+	fmt.Printf("latency p50=%s p90=%s p99=%s max=%s (concurrency=%d)\n",
+		rep.P50, rep.P90, rep.P99, rep.Max, rep.Concurrency)
+
+	if *out != "" {
+		b, err := rep.BenchJSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dynmondload: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*out, b, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "dynmondload: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	if rep.Errors > 0 {
+		fmt.Fprintf(os.Stderr, "dynmondload: %d requests failed\n", rep.Errors)
+		os.Exit(1)
+	}
+}

@@ -46,6 +46,13 @@
 // Rules, topologies and graph generators are pluggable: RegisterRule,
 // RegisterTopology and RegisterGenerator add new implementations resolvable
 // by name — in options and in specs — without forking the repository.
+//
+// Because specs canonicalize (Spec.Canonical) and runs are deterministic,
+// every run has a stable content address: Spec.Digest and FileSpec.Digest
+// hash the canonical wire form, and equal digests imply byte-identical
+// terminal Results.  The repro/dynserve package (and its cmd/dynmond
+// binary) builds on exactly this contract to serve runs over HTTP with a
+// provably-correct result cache and checkpointed, resumable jobs.
 package dynmon
 
 import (
@@ -232,7 +239,14 @@ func (s *System) String() string {
 // The options fold into a RunSpec — Run and a spec file describe a run the
 // same way — and Run itself is a drain of the Steps stream.
 func (s *System) Run(ctx context.Context, initial *Coloring, opts ...RunOption) (*Result, error) {
-	opt, err := runSpecOf(opts).engineOptions()
+	rs := runSpecOf(opts)
+	if rs.cpEvery > 0 {
+		// The CheckpointEvery cadence lives in the public stream wrapper;
+		// honor it by draining the stream — which is all RunContext does
+		// anyway, so the result is bit-identical.
+		return drainSteps(s.stepsSpec(ctx, initial, rs))
+	}
+	opt, err := rs.engineOptions()
 	if err != nil {
 		return nil, err
 	}

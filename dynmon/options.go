@@ -158,12 +158,15 @@ type RunSpec struct {
 
 	// Non-wire attachments, set through run options: observers watch the
 	// run, availability overrides TimeVarying with an arbitrary
-	// implementation, freshBuffers opts out of the engine's buffer pool.
+	// implementation, freshBuffers opts out of the engine's buffer pool,
+	// cpEvery/cpSink periodically snapshot the run (see CheckpointEvery).
 	// They do not serialize — a checkpoint or spec file carries run
 	// semantics, not process-local callbacks.
 	observers    []Observer
 	availability Availability
 	freshBuffers bool
+	cpEvery      int
+	cpSink       func(*Checkpoint) error
 }
 
 // RunOption configures a single Run (or every run of a Session batch) by
@@ -192,8 +195,13 @@ func WithRunSpec(spec RunSpec) RunOption {
 			availability = rs.availability
 		}
 		fresh := rs.freshBuffers || spec.freshBuffers
+		cpEvery, cpSink := spec.cpEvery, spec.cpSink
+		if cpSink == nil {
+			cpEvery, cpSink = rs.cpEvery, rs.cpSink
+		}
 		*rs = spec
 		rs.observers, rs.availability, rs.freshBuffers = observers, availability, fresh
+		rs.cpEvery, rs.cpSink = cpEvery, cpSink
 	}
 }
 
@@ -233,6 +241,7 @@ func (rs RunSpec) engineOptions() (sim.Options, error) {
 func (rs RunSpec) wireClone() RunSpec {
 	out := rs
 	out.observers, out.availability, out.freshBuffers = nil, nil, false
+	out.cpEvery, out.cpSink = 0, nil
 	if rs.TimeVarying != nil {
 		tv := *rs.TimeVarying
 		out.TimeVarying = &tv
@@ -398,6 +407,31 @@ func Kernel(k KernelTier) RunOption {
 // borrowing from the engine's per-run buffer pool.
 func FreshBuffers() RunOption {
 	return func(rs *RunSpec) { rs.freshBuffers = true }
+}
+
+// CheckpointEvery invokes sink with a serializable Checkpoint after every
+// `every` completed rounds of the run (rounds every, 2·every, ... — never
+// the terminal round, whose complete Result supersedes any snapshot).  It is
+// the durability hook long-running services build on: the dynserve server
+// uses it to keep a recent resume point for every job, so runs survive
+// eviction, disconnects and process migration.  Checkpoints are deep
+// snapshots taken at the round boundary, so the run continues bit-identically
+// whether or not anyone ever resumes them.
+//
+// The cadence applies to streaming (System.Steps, System.ResumeSteps) and
+// draining (System.Run, System.Resume) forms alike.  A sink error stops the
+// run — a service that cannot persist its resume points is losing the very
+// durability it asked for — surfacing the error through the stream (or from
+// Run).  The attachment is process-local and does not serialize; an `every`
+// of 0 or a nil sink disables the cadence.
+func CheckpointEvery(every int, sink func(*Checkpoint) error) RunOption {
+	return func(rs *RunSpec) {
+		if every <= 0 || sink == nil {
+			rs.cpEvery, rs.cpSink = 0, nil
+			return
+		}
+		rs.cpEvery, rs.cpSink = every, sink
+	}
 }
 
 // WithObserver notifies o after every round (OnRound) and when the run

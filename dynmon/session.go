@@ -18,6 +18,15 @@ import (
 // parallelism is across batch items.  A Session is safe for concurrent use
 // by multiple goroutines; each batch call gets its own pool of up to
 // Workers goroutines.
+//
+// A Session holds no goroutines, file descriptors or timers between calls —
+// its worker pools are scoped to each RunBatch/VerifyBatch invocation and
+// are fully joined (via sync.WaitGroup) before the call returns, including
+// on cancellation, where workers drain the remaining indices without
+// working.  There is therefore no Close: long-lived holders — the dynserve
+// server keeps Sessions for the process lifetime — simply drop the last
+// reference and the garbage collector reclaims everything.  This contract is
+// pinned by a race-enabled leak test (TestSessionAbandonLeaksNothing).
 type Session struct {
 	sys     *System
 	workers int

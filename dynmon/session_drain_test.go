@@ -1,0 +1,80 @@
+package dynmon
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSessionAbandonLeaksNothing pins the Session lifecycle contract the
+// dynserve server relies on (it holds Sessions for the process lifetime):
+// batch worker pools are scoped to each call and fully joined before it
+// returns, even when the call is canceled mid-batch, so an abandoned Session
+// pins no goroutines.  Run with -race, this also hammers the concurrent
+// RunBatch + cancellation paths.
+func TestSessionAbandonLeaksNothing(t *testing.T) {
+	sys, err := New(Mesh(16, 16), Colors(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	se := sys.NewSession(4)
+
+	initials := make([]*Coloring, 64)
+	for i := range initials {
+		initials[i] = sys.RandomColoring(uint64(i + 1))
+	}
+
+	before := runtime.NumGoroutine()
+
+	// Concurrent batches, half of them canceled mid-flight.
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ctx := context.Background()
+			var cancel context.CancelFunc
+			if g%2 == 0 {
+				ctx, cancel = context.WithCancel(ctx)
+				// Cancel while the batch is (very likely) still running.
+				go func() {
+					time.Sleep(time.Duration(g) * 100 * time.Microsecond)
+					cancel()
+				}()
+				defer cancel()
+			}
+			results, err := se.RunBatch(ctx, initials, MaxRounds(200), DetectCycles())
+			if err != nil {
+				if !errors.Is(err, context.Canceled) {
+					t.Errorf("batch %d: %v", g, err)
+				}
+				return
+			}
+			for i, res := range results {
+				if res == nil {
+					t.Errorf("batch %d: missing result %d on an uncanceled batch", g, i)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Abandon the session entirely and verify the goroutine count settles
+	// back to the pre-batch level (poll: exiting workers need a moment).
+	se = nil
+	_ = se
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before batches, %d after abandoning the session", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

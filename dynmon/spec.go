@@ -2,6 +2,8 @@ package dynmon
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"reflect"
@@ -186,6 +188,98 @@ func (sp *Spec) Clone() *Spec {
 		out.Substrate.Edges = &ec
 	}
 	return &out
+}
+
+// Canonical returns the canonicalized form of the spec without building a
+// System: registry aliases are resolved to canonical names ("mesh" →
+// "toroidal-mesh", "ba" → "barabasi-albert"), the default rule is made
+// explicit ("smp" on tori, "generalized-smp" on graph substrates — with a
+// literal "smp" on a graph substrate resolving to "generalized-smp", exactly
+// as Spec.New does), and explicit edge lists are deduplicated, oriented
+// (u < v) and sorted.  The result is exactly the spec Spec.New would record —
+// sp.Canonical() equals sp.New()'s System.Spec() — so two specs denote the
+// same system if and only if their canonical JSON forms are equal.
+func (sp *Spec) Canonical() (*Spec, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	out := sp.Clone()
+	switch {
+	case sp.Substrate.Topology != nil:
+		t := sp.Substrate.Topology
+		topo, err := grid.ByName(t.Name, t.Rows, t.Cols)
+		if err != nil {
+			return nil, err
+		}
+		out.Substrate.Topology.Name = topo.Name()
+		if out.Rule == "" {
+			out.Rule = "smp"
+		}
+	case sp.Substrate.Generator != nil:
+		name, err := graphs.CanonicalGeneratorName(sp.Substrate.Generator.Name)
+		if err != nil {
+			return nil, err
+		}
+		out.Substrate.Generator.Name = name
+		if out.Rule == "" || out.Rule == "smp" {
+			out.Rule = "generalized-smp"
+		}
+	default:
+		e := out.Substrate.Edges
+		seen := make(map[[2]int]bool, len(e.Edges))
+		edges := make([][2]int, 0, len(e.Edges))
+		for _, edge := range e.Edges {
+			u, v := edge[0], edge[1]
+			if u > v {
+				u, v = v, u
+			}
+			if seen[[2]int{u, v}] {
+				continue
+			}
+			seen[[2]int{u, v}] = true
+			edges = append(edges, [2]int{u, v})
+		}
+		sort.Slice(edges, func(i, j int) bool {
+			if edges[i][0] != edges[j][0] {
+				return edges[i][0] < edges[j][0]
+			}
+			return edges[i][1] < edges[j][1]
+		})
+		e.Edges = edges
+		if out.Rule == "" || out.Rule == "smp" {
+			out.Rule = "generalized-smp"
+		}
+	}
+	if _, err := rules.ByName(out.Rule); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Digest returns a stable content address of the spec: "sha256:" plus the
+// hex SHA-256 of the canonical compact JSON form.  Alias forms collide —
+// Digest canonicalizes first — so two specs share a digest exactly when they
+// denote the same system.  Because every run is a pure function of its spec,
+// the digest is a sound cache key for results: same digest ⇒ same system ⇒
+// same result.  (The address is canonical-JSON-level, not graph-isomorphism-
+// level: a generator spec that spells out a generator's default parameters
+// digests differently from one that omits them.)
+func (sp *Spec) Digest() (string, error) {
+	canonical, err := sp.Canonical()
+	if err != nil {
+		return "", err
+	}
+	return digestOf(canonical)
+}
+
+// digestOf hashes a value's compact JSON form.
+func digestOf(v any) (string, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return "sha256:" + hex.EncodeToString(sum[:]), nil
 }
 
 // New instantiates the System the spec describes.  It is the single
@@ -518,4 +612,46 @@ func (fs *FileSpec) JSON() ([]byte, error) {
 		return nil, err
 	}
 	return append(b, '\n'), nil
+}
+
+// Build instantiates the run the spec file describes: the system, the
+// initial construction and the effective target color (Run.Target, with the
+// paper's color 1 as the default).  It is the one construction path shared
+// by every spec-file consumer — the CLI tools and the dynserve HTTP server —
+// so "the run a spec file denotes" cannot drift between them.  Spec files
+// without an initial section are an error here; callers that only need the
+// system use System.New directly.
+func (fs *FileSpec) Build() (*System, *Construction, Color, error) {
+	sys, err := fs.System.New()
+	if err != nil {
+		return nil, nil, None, err
+	}
+	target := fs.Run.Target
+	if target == None {
+		target = 1
+	}
+	if fs.Initial == nil {
+		return nil, nil, None, fmt.Errorf("dynmon: spec file has no initial section")
+	}
+	cons, err := sys.BuildInitial(fs.Initial, target)
+	if err != nil {
+		return nil, nil, None, err
+	}
+	return sys, cons, target, nil
+}
+
+// Digest returns a stable content address of the complete run the file
+// describes: "sha256:" plus the hex SHA-256 of the compact JSON of the
+// canonicalized system spec, the initial spec and the run spec's wire fields
+// (process-local attachments — observers, custom availability models, buffer
+// knobs — do not serialize and do not contribute).  Runs are deterministic
+// functions of exactly this triple, so equal digests imply byte-identical
+// terminal Results — the contract the dynserve result cache is built on.
+func (fs *FileSpec) Digest() (string, error) {
+	system, err := fs.System.Canonical()
+	if err != nil {
+		return "", err
+	}
+	canonical := FileSpec{System: *system, Initial: fs.Initial, Run: fs.Run.wireClone()}
+	return digestOf(&canonical)
 }

@@ -66,24 +66,50 @@ func (st *Step) Checkpoint() (*Checkpoint, error) {
 // word-parallel speed.
 func (s *System) Steps(ctx context.Context, initial *Coloring, opts ...RunOption) iter.Seq2[*Step, error] {
 	rs := runSpecOf(opts)
+	return s.stepsSpec(ctx, initial, rs)
+}
+
+// stepsSpec is Steps over an already-folded RunSpec: engine-option lowering,
+// the Step wrapper and the CheckpointEvery cadence, shared by Steps,
+// ResumeSteps and the cadence-honoring path of Run.
+func (s *System) stepsSpec(ctx context.Context, initial *Coloring, rs RunSpec) iter.Seq2[*Step, error] {
 	return func(yield func(*Step, error) bool) {
 		opt, err := rs.engineOptions()
 		if err != nil {
 			yield(nil, err)
 			return
 		}
-		step := &Step{sys: s, rs: &rs}
-		for inner, err := range s.engine.Stream(ctx, initial, opt) {
-			if inner == nil {
-				if !yield(nil, err) {
-					return
-				}
-				continue
-			}
-			step.sim = inner
-			if !yield(step, err) {
+		s.wrapStream(s.engine.Stream(ctx, initial, opt), &rs, yield)
+	}
+}
+
+// wrapStream adapts an engine step stream to the public Step type, firing
+// the CheckpointEvery cadence on the way through.  The cadence snapshot is
+// taken at the round boundary, before the step is yielded, so a consumer
+// that breaks out of the loop still leaves the sink holding the newest
+// checkpoint.
+func (s *System) wrapStream(inner iter.Seq2[*sim.Step, error], rs *RunSpec, yield func(*Step, error) bool) {
+	step := &Step{sys: s, rs: rs}
+	for in, err := range inner {
+		if in == nil {
+			if !yield(nil, err) {
 				return
 			}
+			continue
+		}
+		step.sim = in
+		if err == nil && rs.cpEvery > 0 && !in.Done && in.Round > 0 && in.Round%rs.cpEvery == 0 {
+			cp, cperr := step.Checkpoint()
+			if cperr == nil {
+				cperr = rs.cpSink(cp)
+			}
+			if cperr != nil {
+				yield(nil, fmt.Errorf("dynmon: checkpoint cadence at round %d: %w", in.Round, cperr))
+				return
+			}
+		}
+		if !yield(step, err) {
+			return
 		}
 	}
 }
@@ -227,34 +253,73 @@ func (cp *Checkpoint) validate() error {
 // bitplane tier — a checkpoint carries scalar state — which changes nothing
 // about the result, by the engine's tier contract.
 func (s *System) Resume(ctx context.Context, cp *Checkpoint, opts ...RunOption) (*Result, error) {
-	if cp == nil {
-		return nil, fmt.Errorf("dynmon: nil checkpoint")
-	}
-	if err := cp.validate(); err != nil {
+	rs, snap, err := s.resumeSpec(cp, opts)
+	if err != nil {
 		return nil, err
 	}
+	opt, err := rs.engineOptions()
+	if err != nil {
+		return nil, err
+	}
+	if rs.cpEvery > 0 {
+		return drainSteps(func(yield func(*Step, error) bool) {
+			s.wrapStream(s.engine.StreamFrom(ctx, snap, opt), &rs, yield)
+		})
+	}
+	return s.engine.ResumeContext(ctx, snap, opt)
+}
+
+// ResumeSteps is Resume in streaming form — the Steps iterator continuing a
+// checkpointed run instead of starting one: rounds resume at cp.Round+1
+// under the checkpoint's run spec (plus any extra options), one Step per
+// round, terminal step carrying the completed Result, bit-identical to a run
+// that was never interrupted.  It is the re-attach primitive of the dynserve
+// server: an evicted job resumes from its checkpoint and the reconnected
+// client streams the remaining rounds.
+func (s *System) ResumeSteps(ctx context.Context, cp *Checkpoint, opts ...RunOption) iter.Seq2[*Step, error] {
+	return func(yield func(*Step, error) bool) {
+		rs, snap, err := s.resumeSpec(cp, opts)
+		if err != nil {
+			yield(nil, err)
+			return
+		}
+		opt, err := rs.engineOptions()
+		if err != nil {
+			yield(nil, err)
+			return
+		}
+		s.wrapStream(s.engine.StreamFrom(ctx, snap, opt), &rs, yield)
+	}
+}
+
+// resumeSpec validates a checkpoint against this system and lowers it to the
+// effective RunSpec and engine-level resume state, shared by Resume and
+// ResumeSteps.
+func (s *System) resumeSpec(cp *Checkpoint, opts []RunOption) (RunSpec, *sim.Resume, error) {
+	var rs RunSpec
+	if cp == nil {
+		return rs, nil, fmt.Errorf("dynmon: nil checkpoint")
+	}
+	if err := cp.validate(); err != nil {
+		return rs, nil, err
+	}
 	if cp.Config.Dims() != s.Dims() {
-		return nil, fmt.Errorf("dynmon: checkpoint is %v, system is %v", cp.Config.Dims(), s.Dims())
+		return rs, nil, fmt.Errorf("dynmon: checkpoint is %v, system is %v", cp.Config.Dims(), s.Dims())
 	}
 	if cp.System != nil {
 		own, err := s.Spec()
 		if err != nil {
-			return nil, fmt.Errorf("dynmon: checkpoint pins a system spec but this system has none: %w", err)
+			return rs, nil, fmt.Errorf("dynmon: checkpoint pins a system spec but this system has none: %w", err)
 		}
 		if !specEqual(own, cp.System) {
-			return nil, fmt.Errorf("dynmon: checkpoint belongs to a different system (spec mismatch)")
+			return rs, nil, fmt.Errorf("dynmon: checkpoint belongs to a different system (spec mismatch)")
 		}
 	}
-	var rs RunSpec
 	if cp.Run != nil {
 		rs = *cp.Run
 	}
 	for _, opt := range opts {
 		opt(&rs)
-	}
-	opt, err := rs.engineOptions()
-	if err != nil {
-		return nil, err
 	}
 	snap := &sim.Resume{
 		Round:           cp.Round,
@@ -264,12 +329,39 @@ func (s *System) Resume(ctx context.Context, cp *Checkpoint, opts ...RunOption) 
 		FirstReached:    cp.FirstReached,
 		MonotoneTarget:  cp.MonotoneTarget,
 	}
-	return s.engine.ResumeContext(ctx, snap, opt)
+	return rs, snap, nil
 }
 
-// specEqual compares two specs by canonical JSON form.
+// drainSteps runs a public step stream to completion and returns its final
+// (or, under cancellation, partial) Result — the public-surface twin of the
+// engine's stream drain, used by the cadence-honoring paths of Run and
+// Resume.
+func drainSteps(seq iter.Seq2[*Step, error]) (*Result, error) {
+	var res *Result
+	for st, err := range seq {
+		if st != nil && st.Result() != nil {
+			res = st.Result()
+		}
+		if err != nil {
+			return res, err
+		}
+		if st != nil && st.Done() {
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+// specEqual compares two specs by canonical digest, so alias forms of the
+// same system compare equal; specs that cannot canonicalize (unknown names)
+// fall back to raw JSON comparison.
 func specEqual(a, b *Spec) bool {
-	aj, errA := json.Marshal(a)
-	bj, errB := json.Marshal(b)
-	return errA == nil && errB == nil && bytes.Equal(aj, bj)
+	ad, errA := a.Digest()
+	bd, errB := b.Digest()
+	if errA == nil && errB == nil {
+		return ad == bd
+	}
+	aj, jerrA := json.Marshal(a)
+	bj, jerrB := json.Marshal(b)
+	return jerrA == nil && jerrB == nil && bytes.Equal(aj, bj)
 }

@@ -1,0 +1,71 @@
+package dynserve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is a small bounded LRU keyed by digest strings.  It backs both
+// the result cache (digest -> terminal result bytes) and the system cache
+// (digest -> *dynmon.System).  Correctness needs no invalidation: keys are
+// content addresses of canonical specs and runs are deterministic, so an
+// entry can never go stale — the bound exists purely to cap memory.
+type lruCache struct {
+	mu      sync.Mutex
+	max     int
+	ll      *list.List
+	byKey   map[string]*list.Element
+	onEvict func()
+}
+
+type lruEntry struct {
+	key string
+	val any
+}
+
+func newLRUCache(max int, onEvict func()) *lruCache {
+	if max < 1 {
+		max = 1
+	}
+	return &lruCache{max: max, ll: list.New(), byKey: make(map[string]*list.Element), onEvict: onEvict}
+}
+
+// Get returns the value for key, refreshing its recency.
+func (c *lruCache) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// Put inserts or refreshes key, evicting the least-recently-used entry when
+// the bound is exceeded.
+func (c *lruCache) Put(key string, val any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*lruEntry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*lruEntry).key)
+		if c.onEvict != nil {
+			c.onEvict()
+		}
+	}
+}
+
+// Len returns the number of live entries.
+func (c *lruCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,288 @@
+// Package dynserve turns the dynmon library into infrastructure: an HTTP
+// service ("dynmond", see cmd/dynmond) that accepts declarative run specs,
+// executes them on a bounded worker pool with admission control, and streams
+// each round back as NDJSON or Server-Sent Events, ending with the terminal
+// Result.
+//
+// The design leans entirely on the library's determinism contract.  Every
+// run is a pure function of its wire description (dynmon.FileSpec: system +
+// initial + run), so:
+//
+//   - Results are cached by canonical spec digest (FileSpec.Digest).  Equal
+//     digests imply byte-identical terminal Results, which makes cache hits
+//     provably correct — the cache can only ever return exactly the bytes a
+//     fresh run would produce.
+//   - Long runs are durable jobs: the server snapshots them on a checkpoint
+//     cadence (dynmon.CheckpointEvery), can evict them under load, and
+//     resumes bit-identically when a client re-attaches (GET /v1/jobs/{id})
+//     — the engine pins resumed runs equal to uninterrupted ones.
+//
+// Endpoints:
+//
+//	POST   /v1/runs                submit a spec (or a checkpoint) and stream
+//	                               the run: NDJSON by default, SSE with
+//	                               Accept: text/event-stream, buffered
+//	                               terminal Result JSON with
+//	                               Accept: application/json
+//	POST   /v1/jobs                submit a spec as a detached job; returns
+//	                               202 with the job id immediately
+//	GET    /v1/jobs                list jobs
+//	GET    /v1/jobs/{id}           (re-)attach to a job's stream; resumes an
+//	                               evicted job from its checkpoint
+//	GET    /v1/jobs/{id}/checkpoint  latest durable checkpoint of the job
+//	POST   /v1/jobs/{id}/evict     checkpoint the job and free its worker
+//	DELETE /v1/jobs/{id}           cancel the job
+//	GET    /healthz                liveness (503 while draining)
+//	GET    /metrics                Prometheus text metrics
+//
+// Admission control keeps the server upright under overload: at most
+// Config.Workers runs execute at once, at most Config.QueueDepth submissions
+// wait for a slot, and everything beyond that is shed with 429 rather than
+// queued into collapse.  Per-request budgets ride the ordinary context
+// plumbing — the engine observes cancellation at every round boundary.
+package dynserve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/dynmon"
+)
+
+// Config tunes the server.  The zero value is usable: every field has a
+// production-shaped default, applied by New.
+type Config struct {
+	// Workers bounds the number of simulations executing concurrently
+	// (default GOMAXPROCS).  This is the Session-style pool bound: the unit
+	// of parallelism is the request, so each run steps sequentially.
+	Workers int
+	// QueueDepth bounds how many admitted submissions may wait for a worker
+	// slot (default 64).  Beyond it the server sheds with 429.
+	QueueDepth int
+	// CacheEntries bounds the result cache (default 1024 terminal results).
+	CacheEntries int
+	// SystemCacheEntries bounds the built-system cache (default 64 systems);
+	// systems are immutable and safely shared across runs, so caching them
+	// amortizes substrate construction (graph generation, CSR indexing).
+	SystemCacheEntries int
+	// MaxRequestBytes caps request bodies (default 1 MiB).  Oversized specs
+	// are rejected with 413 before any parsing.
+	MaxRequestBytes int64
+	// CheckpointEvery is the durability cadence in rounds (default 64):
+	// every running job keeps a checkpoint at most this many rounds old, the
+	// state evicted jobs resume from.  0 disables cadence checkpoints (jobs
+	// then checkpoint only at eviction steps).
+	CheckpointEvery int
+	// RunTimeout is the per-run budget (default 5m; <0 disables).  It rides
+	// context cancellation: a run over budget stops at the next round
+	// boundary and the job reports the cancellation.
+	RunTimeout time.Duration
+	// JobRetention is how long terminal jobs stay listable (default 15m).
+	JobRetention time.Duration
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 1024
+	}
+	if c.SystemCacheEntries <= 0 {
+		c.SystemCacheEntries = 64
+	}
+	if c.MaxRequestBytes <= 0 {
+		c.MaxRequestBytes = 1 << 20
+	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 64
+	}
+	if c.CheckpointEvery < 0 {
+		c.CheckpointEvery = 0
+	}
+	if c.RunTimeout == 0 {
+		c.RunTimeout = 5 * time.Minute
+	}
+	if c.RunTimeout < 0 {
+		c.RunTimeout = 0
+	}
+	if c.JobRetention <= 0 {
+		c.JobRetention = 15 * time.Minute
+	}
+	return c
+}
+
+// Server is the dynmond HTTP service.  Create one with New, mount Handler on
+// any http.Server, and call Drain on shutdown.
+type Server struct {
+	cfg     Config
+	mux     *http.ServeMux
+	metrics *Metrics
+	results *lruCache // FileSpec digest -> cachedResult
+	systems *lruCache // system Spec digest -> *dynmon.System
+	jobs    *jobTable
+
+	// Admission: sem holds the worker slots, queued counts waiters.
+	sem    chan struct{}
+	queued atomic.Int64
+
+	// sysBuild serializes substrate construction per digest so a thundering
+	// herd of identical cold specs builds one system, not N.
+	sysBuild sync.Mutex
+
+	draining atomic.Bool
+	baseCtx  context.Context
+	cancel   context.CancelFunc
+	running  sync.WaitGroup
+}
+
+// cachedResult is one terminal result by digest: the exact bytes a fresh run
+// marshals to.
+type cachedResult struct {
+	json   []byte
+	kernel string
+}
+
+// New returns a ready Server.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		metrics: NewMetrics(),
+		sem:     make(chan struct{}, cfg.Workers),
+	}
+	s.results = newLRUCache(cfg.CacheEntries, func() { s.metrics.CacheEvictions.Add(1) })
+	s.systems = newLRUCache(cfg.SystemCacheEntries, nil)
+	s.jobs = newJobTable(cfg.JobRetention)
+	s.baseCtx, s.cancel = context.WithCancel(context.Background())
+	s.metrics.QueueDepth = func() int64 { return s.queued.Load() }
+	s.metrics.InFlight = func() int64 { return int64(len(s.sem)) }
+	s.metrics.CacheEntries = func() int64 { return int64(s.results.Len()) }
+	s.metrics.JobsLive = func() int64 { return int64(s.jobs.Len()) }
+	s.routes()
+	return s
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics exposes the server's counters (for embedding, e.g. expvar).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// routes mounts the endpoint table.
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/runs", s.handleRun)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleAttachJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/checkpoint", s.handleJobCheckpoint)
+	s.mux.HandleFunc("POST /v1/jobs/{id}/evict", s.handleEvictJob)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.metrics.ServePrometheus)
+}
+
+// Drain gracefully stops the server: new submissions are refused with 503,
+// running jobs are asked to evict (checkpointing their state), and Drain
+// waits for every runner to settle — up to ctx's deadline, after which the
+// base context is canceled and stragglers stop at their next round boundary.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	s.jobs.evictAll()
+	done := make(chan struct{})
+	go func() {
+		s.running.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.cancel()
+		return nil
+	case <-ctx.Done():
+		s.cancel()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Admission errors.
+var (
+	errShed     = errors.New("dynserve: queue full, request shed")
+	errDraining = errors.New("dynserve: server is draining")
+)
+
+// admitAsync makes the admission decision synchronously — errShed when the
+// queue bound is exceeded (admission control sheds instead of queuing into
+// collapse), errDraining during shutdown — and returns a wait func that
+// claims a worker slot, blocking until one frees or the context ends.  The
+// split lets job submission answer 202/429 immediately while the runner
+// waits for its slot.  On a shed it also nudges an idle detached job to
+// evict, so sustained pressure frees capacity instead of starving.
+func (s *Server) admitAsync() (func(ctx context.Context) (func(), error), error) {
+	if s.draining.Load() {
+		return nil, errDraining
+	}
+	if s.queued.Add(1) > int64(s.cfg.QueueDepth) {
+		s.queued.Add(-1)
+		s.metrics.Shed.Add(1)
+		s.jobs.evictOneIdle()
+		return nil, errShed
+	}
+	return func(ctx context.Context) (func(), error) {
+		defer s.queued.Add(-1)
+		select {
+		case s.sem <- struct{}{}:
+			return func() { <-s.sem }, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}, nil
+}
+
+// acquire is the synchronous form of admitAsync: admit and claim in one
+// call, as the streaming run endpoint needs.
+func (s *Server) acquire(ctx context.Context) (func(), error) {
+	wait, err := s.admitAsync()
+	if err != nil {
+		return nil, err
+	}
+	return wait(ctx)
+}
+
+// systemFor builds (or returns the cached) System for a canonical system
+// spec digest.
+func (s *Server) systemFor(digest string, spec *dynmon.Spec) (*dynmon.System, error) {
+	if v, ok := s.systems.Get(digest); ok {
+		return v.(*dynmon.System), nil
+	}
+	// One build per cold digest: substrate construction (graph generation,
+	// CSR indexing) can be the most expensive part of a request, and a
+	// thundering herd of identical specs should pay it once.
+	s.sysBuild.Lock()
+	defer s.sysBuild.Unlock()
+	if v, ok := s.systems.Get(digest); ok {
+		return v.(*dynmon.System), nil
+	}
+	sys, err := spec.New()
+	if err != nil {
+		return nil, err
+	}
+	s.systems.Put(digest, sys)
+	return sys, nil
+}
+
+// newJobID mints a process-unique job id.
+func (s *Server) newJobID() string {
+	return fmt.Sprintf("j%06d", s.jobs.nextSeq())
+}

@@ -1,0 +1,251 @@
+package dynserve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/dynmon"
+)
+
+// longSpec is a run long enough to evict mid-flight: a 256x256 mesh minimum
+// dynamo (255 rounds) on the forced full-sweep kernel, so each round does
+// real work and the test can observe the job between rounds.
+func longSpec(t *testing.T) []byte {
+	t.Helper()
+	fs := &dynmon.FileSpec{
+		Initial: &dynmon.InitialSpec{Config: "minimum"},
+		Run: dynmon.RunSpec{
+			Target:                1,
+			StopWhenMonochromatic: true,
+			DetectCycles:          true,
+			Kernel:                "sweep",
+		},
+	}
+	fs.System.Substrate.Topology = &dynmon.TopologySpec{Name: "toroidal-mesh", Rows: 256, Cols: 256}
+	fs.System.Colors = 5
+	fs.System.Rule = "smp"
+	b, err := json.Marshal(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func submitJob(t *testing.T, url string, body []byte) JobStatus {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("job submission status %d", resp.StatusCode)
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func jobStatus(t *testing.T, srv *Server, id string) JobStatus {
+	t.Helper()
+	j, ok := srv.jobs.get(id)
+	if !ok {
+		t.Fatalf("job %s disappeared", id)
+	}
+	return j.status()
+}
+
+// TestJobEvictResumeBitIdentical is the durability pin: run a job, evict it
+// mid-run (checkpoint + free the worker), re-attach, and require the
+// resumed terminal Result to be byte-identical to an uninterrupted offline
+// run — the kill-and-resume contract the server sells.
+func TestJobEvictResumeBitIdentical(t *testing.T) {
+	spec := longSpec(t)
+	want := offlineResult(t, spec)
+	srv, ts := newTestServer(t, Config{Workers: 1, CheckpointEvery: 10})
+
+	st := submitJob(t, ts.URL, spec)
+
+	// Wait for real progress, then evict over HTTP.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		cur := jobStatus(t, srv, st.ID)
+		if jobTerminal(cur.State) {
+			t.Fatalf("job reached %s before the test could evict it", cur.State)
+		}
+		if cur.Round >= 20 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never progressed: %+v", cur)
+		}
+		runtime.Gosched()
+	}
+	resp, err := http.Post(ts.URL+"/v1/jobs/"+st.ID+"/evict", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readAll(t, resp)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("evict status %d", resp.StatusCode)
+	}
+	for {
+		cur := jobStatus(t, srv, st.ID)
+		if cur.State == jobEvicted {
+			if cur.CheckpointRound < 20 {
+				t.Fatalf("evicted with checkpoint at round %d, want >= 20 (round-boundary snapshot)", cur.CheckpointRound)
+			}
+			break
+		}
+		if jobTerminal(cur.State) {
+			t.Fatalf("job reached %s before eviction landed", cur.State)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("eviction never landed: %+v", cur)
+		}
+		runtime.Gosched()
+	}
+	if n := srv.metrics.JobsEvicted.Load(); n != 1 {
+		t.Fatalf("JobsEvicted = %d, want 1", n)
+	}
+
+	// The checkpoint endpoint serves the parked state.
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + st.ID + "/checkpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpBody := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("checkpoint fetch status %d", resp.StatusCode)
+	}
+	if _, err := dynmon.ParseCheckpoint(cpBody); err != nil {
+		t.Fatalf("served checkpoint does not parse: %v", err)
+	}
+
+	// Re-attach in buffered mode: resumes from the checkpoint and blocks
+	// until terminal.
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/v1/jobs/"+st.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "application/json")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("re-attach status %d: %s", resp.StatusCode, got)
+	}
+	if !bytes.Equal(bytes.TrimSuffix(got, []byte("\n")), want) {
+		t.Fatal("resumed job's terminal Result differs from an uninterrupted offline run")
+	}
+	if n := srv.metrics.JobsResumed.Load(); n != 1 {
+		t.Fatalf("JobsResumed = %d, want 1", n)
+	}
+}
+
+// TestJobCancel pins DELETE: a live job settles as canceled and stays
+// listable with its error.
+func TestJobCancel(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Workers: 1})
+	st := submitJob(t, ts.URL, longSpec(t))
+
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+st.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel status %d", resp.StatusCode)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		cur := jobStatus(t, srv, st.ID)
+		if cur.State == jobCanceled {
+			break
+		}
+		if cur.State == jobDone {
+			t.Fatal("job completed despite cancellation")
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cancellation never settled: %+v", cur)
+		}
+		runtime.Gosched()
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []JobStatus
+	if err := json.Unmarshal(readAll(t, resp), &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].State != jobCanceled {
+		t.Fatalf("job list %+v, want the one canceled job", list)
+	}
+}
+
+// TestJobCacheHitCompletesInstantly pins that a job for an
+// already-cached spec settles done without occupying a worker.
+func TestJobCacheHitCompletesInstantly(t *testing.T) {
+	spec := goldenSpec(t, "ba-200-hubs.json")
+	want := offlineResult(t, spec)
+	srv, ts := newTestServer(t, Config{Workers: 1})
+
+	// Prime the cache with an inline run.
+	readAll(t, postRun(t, ts.URL, spec, "application/json"))
+
+	st := submitJob(t, ts.URL, spec)
+	if st.State != jobDone {
+		t.Fatalf("cached job state %q, want done at submission", st.State)
+	}
+	if n := srv.metrics.CacheHits.Load(); n != 1 {
+		t.Fatalf("CacheHits = %d, want 1", n)
+	}
+
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/jobs/"+st.ID, nil)
+	req.Header.Set("Accept", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := readAll(t, resp); !bytes.Equal(bytes.TrimSuffix(got, []byte("\n")), want) {
+		t.Fatal("cached job result differs from offline run")
+	}
+}
+
+// TestDrainEvictsJobs pins the graceful-shutdown path: draining parks live
+// jobs on checkpoints instead of losing them.
+func TestDrainEvictsJobs(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Workers: 1, CheckpointEvery: 10})
+	st := submitJob(t, ts.URL, longSpec(t))
+
+	deadline := time.Now().Add(30 * time.Second)
+	for jobStatus(t, srv, st.ID).Round < 5 {
+		if time.Now().After(deadline) {
+			t.Fatal("job never progressed")
+		}
+		runtime.Gosched()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if cur := jobStatus(t, srv, st.ID); cur.State != jobEvicted {
+		t.Fatalf("after drain job state %q, want evicted", cur.State)
+	}
+}

@@ -1,0 +1,218 @@
+// Package loadtest drives a running dynmond server with concurrent run
+// submissions and reports throughput and latency percentiles.  Its Report
+// serializes to the repository's benchjson/v1 schema, so server performance
+// rides the same regression gate (cmd/benchjson) as the engine's
+// micro-benchmarks.
+package loadtest
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Options configures a load run.
+type Options struct {
+	// URL is the server base, e.g. "http://127.0.0.1:8080".
+	URL string
+	// Specs are the request bodies to submit, round-robin.  Identical specs
+	// exercise the result cache; distinct ones exercise the worker pool.
+	Specs [][]byte
+	// Total is the number of submissions (default 1000).
+	Total int
+	// Concurrency is the number of in-flight clients (default 64).
+	Concurrency int
+	// Timeout bounds each request (default 30s).
+	Timeout time.Duration
+	// Client overrides the HTTP client (tests inject an in-process one).
+	Client *http.Client
+}
+
+// Report is the outcome of a load run.
+type Report struct {
+	Total       int           `json:"total"`
+	OK          int           `json:"ok"`
+	Shed        int           `json:"shed"` // 429s: intentional load shedding
+	Errors      int           `json:"errors"`
+	Elapsed     time.Duration `json:"elapsed_ns"`
+	Throughput  float64       `json:"throughput_rps"` // completed (OK) per second
+	P50         time.Duration `json:"p50_ns"`
+	P90         time.Duration `json:"p90_ns"`
+	P99         time.Duration `json:"p99_ns"`
+	Max         time.Duration `json:"max_ns"`
+	Concurrency int           `json:"concurrency"`
+}
+
+// Run submits opts.Total runs against the server with opts.Concurrency
+// workers and collects per-request latencies.  Requests use the buffered
+// JSON mode, so one request = one terminal Result.  429 responses count as
+// Shed, not Errors — shedding under pressure is the server behaving as
+// specified; anything else non-2xx is an error.
+func Run(ctx context.Context, opts Options) (*Report, error) {
+	if opts.URL == "" {
+		return nil, fmt.Errorf("loadtest: no server URL")
+	}
+	if len(opts.Specs) == 0 {
+		return nil, fmt.Errorf("loadtest: no specs to submit")
+	}
+	if opts.Total <= 0 {
+		opts.Total = 1000
+	}
+	if opts.Concurrency <= 0 {
+		opts.Concurrency = 64
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 30 * time.Second
+	}
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{Timeout: opts.Timeout}
+	}
+
+	var (
+		next      atomic.Int64
+		ok, shed  atomic.Int64
+		errs      atomic.Int64
+		latMu     sync.Mutex
+		latencies = make([]time.Duration, 0, opts.Total)
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(opts.Total) || ctx.Err() != nil {
+					return
+				}
+				spec := opts.Specs[i%int64(len(opts.Specs))]
+				t0 := time.Now()
+				status, err := submit(ctx, client, opts.URL, spec)
+				lat := time.Since(t0)
+				switch {
+				case err != nil:
+					errs.Add(1)
+				case status == http.StatusTooManyRequests:
+					shed.Add(1)
+				case status == http.StatusOK:
+					ok.Add(1)
+					latMu.Lock()
+					latencies = append(latencies, lat)
+					latMu.Unlock()
+				default:
+					errs.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &Report{
+		Total:       opts.Total,
+		OK:          int(ok.Load()),
+		Shed:        int(shed.Load()),
+		Errors:      int(errs.Load()),
+		Elapsed:     elapsed,
+		Concurrency: opts.Concurrency,
+	}
+	if elapsed > 0 {
+		rep.Throughput = float64(rep.OK) / elapsed.Seconds()
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	rep.P50 = percentile(latencies, 0.50)
+	rep.P90 = percentile(latencies, 0.90)
+	rep.P99 = percentile(latencies, 0.99)
+	if n := len(latencies); n > 0 {
+		rep.Max = latencies[n-1]
+	}
+	return rep, nil
+}
+
+// submit POSTs one spec in buffered mode and drains the response.
+func submit(ctx context.Context, client *http.Client, base string, spec []byte) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/runs", bytes.NewReader(spec))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return resp.StatusCode, err
+	}
+	return resp.StatusCode, nil
+}
+
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// benchFile mirrors the benchjson/v1 schema (cmd/benchjson).
+type benchFile struct {
+	Schema     string           `json:"schema"`
+	GOOS       string           `json:"goos,omitempty"`
+	GOARCH     string           `json:"goarch,omitempty"`
+	Pkg        string           `json:"pkg,omitempty"`
+	Benchmarks []benchBenchmark `json:"benchmarks"`
+}
+
+type benchBenchmark struct {
+	Name        string  `json:"name"`
+	Runs        int     `json:"runs"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	NsPerOpMean float64 `json:"ns_per_op_mean"`
+	NsPerOpMax  float64 `json:"ns_per_op_max"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// BenchJSON renders the report in the benchjson/v1 schema so cmd/benchjson
+// can gate regressions against a checked-in baseline.  Latency percentiles
+// become BenchmarkDynmondSubmit/{p50,p90,p99} (ns_per_op = the percentile)
+// and throughput becomes BenchmarkDynmondThroughput (ns_per_op = mean ns per
+// completed request, so "slower" still means "worse").
+func (r *Report) BenchJSON() ([]byte, error) {
+	nsPerReq := 0.0
+	if r.OK > 0 {
+		nsPerReq = float64(r.Elapsed.Nanoseconds()) / float64(r.OK)
+	}
+	mk := func(name string, ns float64) benchBenchmark {
+		return benchBenchmark{Name: name, Runs: r.OK, NsPerOp: ns, NsPerOpMean: ns, NsPerOpMax: ns}
+	}
+	f := benchFile{
+		Schema: "benchjson/v1",
+		GOOS:   runtime.GOOS,
+		GOARCH: runtime.GOARCH,
+		Pkg:    "repro/dynserve",
+		Benchmarks: []benchBenchmark{
+			mk("BenchmarkDynmondSubmit/p50", float64(r.P50.Nanoseconds())),
+			mk("BenchmarkDynmondSubmit/p90", float64(r.P90.Nanoseconds())),
+			mk("BenchmarkDynmondSubmit/p99", float64(r.P99.Nanoseconds())),
+			mk("BenchmarkDynmondThroughput", nsPerReq),
+		},
+	}
+	b, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

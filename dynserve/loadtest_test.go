@@ -1,0 +1,89 @@
+package dynserve
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/dynserve/loadtest"
+)
+
+// TestLoadThousandsOfSubmissions is the in-process load pin: thousands of
+// concurrent submissions against a bounded pool complete with zero errors —
+// every request either finishes with a Result or is shed with 429, nothing
+// hangs or breaks — and the report serializes to valid benchjson.
+func TestLoadThousandsOfSubmissions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load test")
+	}
+	_, ts := newTestServer(t, Config{Workers: 2, QueueDepth: 256})
+
+	rep, err := loadtest.Run(context.Background(), loadtest.Options{
+		URL:         ts.URL,
+		Specs:       [][]byte{goldenSpec(t, "mesh-9x9-minimum.json"), goldenSpec(t, "ba-200-hubs.json")},
+		Total:       2000,
+		Concurrency: 128,
+		Timeout:     60 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d requests failed: %+v", rep.Errors, rep)
+	}
+	if rep.OK+rep.Shed != rep.Total {
+		t.Fatalf("ok=%d shed=%d does not account for total=%d", rep.OK, rep.Shed, rep.Total)
+	}
+	if rep.OK == 0 {
+		t.Fatal("no request completed")
+	}
+	if rep.P50 <= 0 || rep.P99 < rep.P50 {
+		t.Fatalf("implausible latency percentiles: %+v", rep)
+	}
+
+	b, err := rep.BenchJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		Schema     string `json:"schema"`
+		Benchmarks []struct {
+			Name    string  `json:"name"`
+			NsPerOp float64 `json:"ns_per_op"`
+		} `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(b, &f); err != nil {
+		t.Fatal(err)
+	}
+	if f.Schema != "benchjson/v1" || len(f.Benchmarks) != 4 {
+		t.Fatalf("bench report schema=%q benchmarks=%d, want benchjson/v1 with 4", f.Schema, len(f.Benchmarks))
+	}
+}
+
+// TestLoadShedsWithTooManyRequests pins admission control: a cold burst of
+// identical slow specs against one worker and a tiny queue must shed with
+// 429 rather than queue without bound — and still complete some runs.
+func TestLoadShedsWithTooManyRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 2})
+
+	rep, err := loadtest.Run(context.Background(), loadtest.Options{
+		URL:         ts.URL,
+		Specs:       [][]byte{longSpec(t)},
+		Total:       32,
+		Concurrency: 32,
+		Timeout:     120 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d requests failed: %+v", rep.Errors, rep)
+	}
+	if rep.Shed == 0 {
+		t.Fatalf("no request was shed under a cold burst: %+v", rep)
+	}
+	if rep.OK == 0 {
+		t.Fatalf("no request completed under shedding: %+v", rep)
+	}
+}

@@ -1,0 +1,147 @@
+package dynserve
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Metrics is the server's ops surface: monotonic counters plus live gauges,
+// exported as Prometheus text (GET /metrics) and as an expvar-compatible
+// snapshot map (Snapshot — cmd/dynmond publishes it under /debug/vars).
+// Rates (steps/sec, requests/sec) are derived by the scraper from the
+// counters, per Prometheus convention.
+type Metrics struct {
+	// Counters.
+	Requests       atomic.Int64 // run/job submissions accepted for parsing
+	RunsStarted    atomic.Int64 // runs admitted to a worker slot
+	RunsCompleted  atomic.Int64 // runs that reached their terminal Result
+	RunsFailed     atomic.Int64 // runs that stopped on an error or cancellation
+	Steps          atomic.Int64 // simulation rounds stepped across all runs
+	Shed           atomic.Int64 // submissions shed with 429 by admission control
+	CacheHits      atomic.Int64
+	CacheMisses    atomic.Int64
+	CacheEvictions atomic.Int64
+	JobsEvicted    atomic.Int64 // jobs checkpointed and parked to free a worker
+	JobsResumed    atomic.Int64 // evicted jobs resumed from their checkpoint
+
+	// Gauges, wired by the server.
+	QueueDepth   func() int64
+	InFlight     func() int64
+	CacheEntries func() int64
+	JobsLive     func() int64
+
+	// Per-kernel run counts ("frontier", "sweep", ...), keyed by the tier
+	// the terminal Result reports.
+	kernelMu   sync.Mutex
+	kernelRuns map[string]int64
+}
+
+// NewMetrics returns a zeroed metrics set with no-op gauges.
+func NewMetrics() *Metrics {
+	zero := func() int64 { return 0 }
+	return &Metrics{
+		QueueDepth:   zero,
+		InFlight:     zero,
+		CacheEntries: zero,
+		JobsLive:     zero,
+		kernelRuns:   make(map[string]int64),
+	}
+}
+
+// CountKernel records one completed run under its kernel tier name.
+func (m *Metrics) CountKernel(kernel string) {
+	m.kernelMu.Lock()
+	m.kernelRuns[kernel]++
+	m.kernelMu.Unlock()
+}
+
+// kernelCounts returns a sorted copy of the per-kernel run counts.
+func (m *Metrics) kernelCounts() []struct {
+	Kernel string
+	Runs   int64
+} {
+	m.kernelMu.Lock()
+	defer m.kernelMu.Unlock()
+	out := make([]struct {
+		Kernel string
+		Runs   int64
+	}, 0, len(m.kernelRuns))
+	for k, n := range m.kernelRuns {
+		out = append(out, struct {
+			Kernel string
+			Runs   int64
+		}{k, n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Kernel < out[j].Kernel })
+	return out
+}
+
+// CacheHitRate returns hits/(hits+misses), or 0 before any lookup.
+func (m *Metrics) CacheHitRate() float64 {
+	h, mi := m.CacheHits.Load(), m.CacheMisses.Load()
+	if h+mi == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+mi)
+}
+
+// Snapshot returns the full metrics state as a flat map — the expvar form.
+func (m *Metrics) Snapshot() map[string]any {
+	out := map[string]any{
+		"requests_total":        m.Requests.Load(),
+		"runs_started_total":    m.RunsStarted.Load(),
+		"runs_completed_total":  m.RunsCompleted.Load(),
+		"runs_failed_total":     m.RunsFailed.Load(),
+		"steps_total":           m.Steps.Load(),
+		"shed_total":            m.Shed.Load(),
+		"cache_hits_total":      m.CacheHits.Load(),
+		"cache_misses_total":    m.CacheMisses.Load(),
+		"cache_evictions_total": m.CacheEvictions.Load(),
+		"cache_hit_rate":        m.CacheHitRate(),
+		"cache_entries":         m.CacheEntries(),
+		"jobs_evicted_total":    m.JobsEvicted.Load(),
+		"jobs_resumed_total":    m.JobsResumed.Load(),
+		"jobs_live":             m.JobsLive(),
+		"queue_depth":           m.QueueDepth(),
+		"inflight_runs":         m.InFlight(),
+	}
+	for _, kc := range m.kernelCounts() {
+		out["runs_kernel_"+kc.Kernel+"_total"] = kc.Runs
+	}
+	return out
+}
+
+// ServePrometheus writes the metrics in the Prometheus text exposition
+// format.
+func (m *Metrics) ServePrometheus(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP dynmond_%s %s\n# TYPE dynmond_%s counter\ndynmond_%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v any) {
+		fmt.Fprintf(w, "# HELP dynmond_%s %s\n# TYPE dynmond_%s gauge\ndynmond_%s %v\n", name, help, name, name, v)
+	}
+	counter("requests_total", "Run and job submissions accepted for parsing.", m.Requests.Load())
+	counter("runs_started_total", "Runs admitted to a worker slot.", m.RunsStarted.Load())
+	counter("runs_completed_total", "Runs that reached their terminal Result.", m.RunsCompleted.Load())
+	counter("runs_failed_total", "Runs that stopped on an error or cancellation.", m.RunsFailed.Load())
+	counter("steps_total", "Simulation rounds stepped across all runs (rate() of this is steps/sec).", m.Steps.Load())
+	counter("shed_total", "Submissions shed with 429 by admission control.", m.Shed.Load())
+	counter("cache_hits_total", "Result cache hits.", m.CacheHits.Load())
+	counter("cache_misses_total", "Result cache misses.", m.CacheMisses.Load())
+	counter("cache_evictions_total", "Result cache LRU evictions.", m.CacheEvictions.Load())
+	counter("jobs_evicted_total", "Jobs checkpointed and parked to free a worker.", m.JobsEvicted.Load())
+	counter("jobs_resumed_total", "Evicted jobs resumed from their checkpoint.", m.JobsResumed.Load())
+	gauge("cache_hit_rate", "Result cache hit rate since start.", fmt.Sprintf("%.6f", m.CacheHitRate()))
+	gauge("cache_entries", "Live result cache entries.", m.CacheEntries())
+	gauge("queue_depth", "Submissions waiting for a worker slot.", m.QueueDepth())
+	gauge("inflight_runs", "Runs currently executing.", m.InFlight())
+	gauge("jobs_live", "Jobs currently tracked (queued, running, evicted or recently terminal).", m.JobsLive())
+	fmt.Fprintf(w, "# HELP dynmond_runs_by_kernel_total Completed runs by engine kernel tier.\n# TYPE dynmond_runs_by_kernel_total counter\n")
+	for _, kc := range m.kernelCounts() {
+		fmt.Fprintf(w, "dynmond_runs_by_kernel_total{kernel=%q} %d\n", kc.Kernel, kc.Runs)
+	}
+}

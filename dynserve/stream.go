@@ -1,0 +1,158 @@
+package dynserve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// Stream event kinds.  A run stream is a sequence of "step" events ending
+// with exactly one terminal event: "result" on success, "error" otherwise.
+// Job streams may additionally carry "job" (status on attach), "checkpoint"
+// (durability cadence fired) and "evicted" (segment parked; re-attach to
+// resume) events.
+const (
+	eventJob        = "job"
+	eventStep       = "step"
+	eventCheckpoint = "checkpoint"
+	eventEvicted    = "evicted"
+	eventResult     = "result"
+	eventError      = "error"
+)
+
+// streamEvent is one wire event.  Result carries the terminal Result's
+// exact marshaled bytes (json.RawMessage, not a re-marshal), so the bytes a
+// stream delivers are identical to the bytes an offline run prints — the
+// determinism contract is preserved through the transport.
+type streamEvent struct {
+	kind    string
+	round   int
+	changed int
+	status  *JobStatus
+	result  []byte
+	cached  bool
+	err     string
+}
+
+// wireForm renders the event as its JSON object.
+func (ev streamEvent) wireForm() ([]byte, error) {
+	switch ev.kind {
+	case eventStep:
+		return json.Marshal(struct {
+			Event   string `json:"event"`
+			Round   int    `json:"round"`
+			Changed int    `json:"changed"`
+		}{eventStep, ev.round, ev.changed})
+	case eventCheckpoint:
+		return json.Marshal(struct {
+			Event string `json:"event"`
+			Round int    `json:"round"`
+		}{eventCheckpoint, ev.round})
+	case eventEvicted:
+		return json.Marshal(struct {
+			Event string `json:"event"`
+			Round int    `json:"round"`
+		}{eventEvicted, ev.round})
+	case eventJob:
+		return json.Marshal(struct {
+			Event string    `json:"event"`
+			Job   JobStatus `json:"job"`
+		}{eventJob, *ev.status})
+	case eventResult:
+		return json.Marshal(struct {
+			Event  string          `json:"event"`
+			Cached bool            `json:"cached,omitempty"`
+			Result json.RawMessage `json:"result"`
+		}{eventResult, ev.cached, json.RawMessage(ev.result)})
+	case eventError:
+		return json.Marshal(struct {
+			Event string `json:"event"`
+			Error string `json:"error"`
+		}{eventError, ev.err})
+	}
+	return nil, fmt.Errorf("dynserve: unknown event kind %q", ev.kind)
+}
+
+// resultEvent builds a terminal result event around the exact result bytes.
+func resultEvent(resultJSON []byte, cached bool) streamEvent {
+	return streamEvent{kind: eventResult, result: resultJSON, cached: cached}
+}
+
+// eventWriter is the transport half of a stream: NDJSON or SSE.
+type eventWriter interface {
+	event(ev streamEvent) error
+}
+
+// ndjsonWriter streams events as newline-delimited JSON, flushing each line
+// so clients observe rounds live.
+type ndjsonWriter struct {
+	w       http.ResponseWriter
+	flusher http.Flusher
+	started bool
+}
+
+func newNDJSONWriter(w http.ResponseWriter) *ndjsonWriter {
+	flusher, _ := w.(http.Flusher)
+	return &ndjsonWriter{w: w, flusher: flusher}
+}
+
+func (nw *ndjsonWriter) event(ev streamEvent) error {
+	if !nw.started {
+		nw.w.Header().Set("Content-Type", "application/x-ndjson")
+		nw.w.Header().Set("Cache-Control", "no-store")
+		nw.started = true
+	}
+	b, err := ev.wireForm()
+	if err != nil {
+		return err
+	}
+	if _, err := nw.w.Write(append(b, '\n')); err != nil {
+		return err
+	}
+	if nw.flusher != nil {
+		nw.flusher.Flush()
+	}
+	return nil
+}
+
+// sseWriter streams events as Server-Sent Events: the event field names the
+// kind, the data field carries the same JSON object NDJSON would.
+type sseWriter struct {
+	w       http.ResponseWriter
+	flusher http.Flusher
+	started bool
+}
+
+func newSSEWriter(w http.ResponseWriter) *sseWriter {
+	flusher, _ := w.(http.Flusher)
+	return &sseWriter{w: w, flusher: flusher}
+}
+
+func (sw *sseWriter) event(ev streamEvent) error {
+	if !sw.started {
+		sw.w.Header().Set("Content-Type", "text/event-stream")
+		sw.w.Header().Set("Cache-Control", "no-store")
+		sw.started = true
+	}
+	b, err := ev.wireForm()
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(sw.w, "event: %s\ndata: %s\n\n", ev.kind, b); err != nil {
+		return err
+	}
+	if sw.flusher != nil {
+		sw.flusher.Flush()
+	}
+	return nil
+}
+
+// writerFor picks the stream transport from the request's Accept header:
+// SSE for text/event-stream, NDJSON otherwise.  (Buffered JSON mode is
+// handled before streaming starts.)
+func writerFor(w http.ResponseWriter, r *http.Request) eventWriter {
+	if acceptsSSE(r) {
+		return newSSEWriter(w)
+	}
+	return newNDJSONWriter(w)
+}
