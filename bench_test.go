@@ -13,8 +13,10 @@
 package repro_test
 
 import (
+	"context"
 	"testing"
 
+	"repro/dynmon"
 	"repro/internal/analysis"
 	"repro/internal/color"
 	"repro/internal/dynamo"
@@ -489,4 +491,159 @@ func BenchmarkTimeVaryingRun(b *testing.B) {
 			StopWhenMonochromatic: true,
 		})
 	}
+}
+
+// BenchmarkRunBatchBitsliced measures the bit-sliced ensemble tier: 64
+// replicas packed one-per-bit into each vertex's word and stepped together,
+// against 64 scalar runs of the same replicas under a fixed round budget
+// (so every variant executes exactly the same number of rounds and the
+// comparison is pure per-round throughput, free of termination skew).
+//
+// The CI gate pairs sliced-256x256 against scalar-sweep-256x256 — the
+// per-run loop the batch tier replaces — and requires the sliced batch to
+// be at least 8x faster within the same run (in practice ~40x).  The
+// scalar-auto variants run each replica on its own best scalar tier
+// (bitplane on the torus, frontier on the graph) and are informational:
+// they show the slicing win that remains after per-run word-parallelism
+// (~2x on the torus, ~5x on the graph).  The fallback-ba10k pair documents
+// the ineligible path: a Barabási–Albert substrate under generalized-smp
+// is not bit-sliceable, so Session.RunBatch falls back to the per-run
+// scalar loop and must stay at parity with calling Run directly.
+func BenchmarkRunBatchBitsliced(b *testing.B) {
+	const lanes = 64
+	const rounds = 48
+	ctx := context.Background()
+
+	// 256×256 torus, SMP, two colors: the bitplane-eligible regime.
+	torus := func(b *testing.B) (*sim.Engine, []*color.Coloring) {
+		b.Helper()
+		topo := grid.MustNew(grid.KindToroidalMesh, 256, 256)
+		eng := sim.NewEngine(topo, rules.SMP{})
+		initials := make([]*color.Coloring, lanes)
+		for r := range initials {
+			initials[r] = randomColoring(uint64(r+1), topo.Dims(), 2)
+		}
+		return eng, initials
+	}
+	b.Run("sliced-256x256", func(b *testing.B) {
+		eng, initials := torus(b)
+		opt := sim.Options{MaxRounds: rounds}
+		b.SetBytes(int64(lanes * 256 * 256))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			results, err := eng.RunBatchSliced(ctx, initials, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(results) != lanes {
+				b.Fatal("short batch")
+			}
+		}
+	})
+	b.Run("scalar-sweep-256x256", func(b *testing.B) {
+		eng, initials := torus(b)
+		opt := sim.Options{MaxRounds: rounds, Kernel: sim.KernelSweep}
+		b.SetBytes(int64(lanes * 256 * 256))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for r := 0; r < lanes; r++ {
+				eng.Run(initials[r], opt)
+			}
+		}
+	})
+	b.Run("scalar-auto-256x256", func(b *testing.B) {
+		eng, initials := torus(b)
+		opt := sim.Options{MaxRounds: rounds}
+		b.SetBytes(int64(lanes * 256 * 256))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for r := 0; r < lanes; r++ {
+				eng.Run(initials[r], opt)
+			}
+		}
+	})
+
+	// Circulant C_10000(1,2) under an irreversible threshold rule: a
+	// general-graph substrate where slicing is still eligible.
+	circulant := func(b *testing.B) (*sim.Engine, []*color.Coloring) {
+		b.Helper()
+		const n = 10000
+		g := graphs.NewGraph(n)
+		for v := 0; v < n; v++ {
+			g.AddEdge(v, (v+1)%n)
+			g.AddEdge(v, (v+2)%n)
+		}
+		eng := g.EngineFor(rules.Threshold{Target: 1, Theta: 2})
+		initials := make([]*color.Coloring, lanes)
+		for r := range initials {
+			initials[r] = randomColoring(uint64(r+1), grid.Dims{Rows: 1, Cols: n}, 2)
+		}
+		return eng, initials
+	}
+	b.Run("sliced-circulant10k", func(b *testing.B) {
+		eng, initials := circulant(b)
+		opt := sim.Options{MaxRounds: rounds}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.RunBatchSliced(ctx, initials, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("scalar-auto-circulant10k", func(b *testing.B) {
+		eng, initials := circulant(b)
+		opt := sim.Options{MaxRounds: rounds}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for r := 0; r < lanes; r++ {
+				eng.Run(initials[r], opt)
+			}
+		}
+	})
+
+	// BA-10k: irregular substrate under generalized-smp — slice-ineligible,
+	// so the batch API's transparent fallback carries it.  The pair pins the
+	// fallback at parity with direct scalar runs (Session with one worker,
+	// so pool parallelism cannot mask overhead).
+	ba := func(b *testing.B) (*dynmon.System, []*dynmon.Coloring) {
+		b.Helper()
+		sys, err := dynmon.New(dynmon.BarabasiAlbert(10000, 2, 1), dynmon.Colors(2))
+		if err != nil {
+			b.Fatal(err)
+		}
+		initials := make([]*dynmon.Coloring, lanes)
+		for r := range initials {
+			initials[r] = sys.RandomColoring(uint64(r + 1))
+		}
+		return sys, initials
+	}
+	runSpec := dynmon.RunSpec{MaxRounds: rounds}
+	b.Run("fallback-ba10k", func(b *testing.B) {
+		sys, initials := ba(b)
+		se := sys.NewSession(1)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := se.RunBatch(ctx, initials, dynmon.WithRunSpec(runSpec)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("scalar-ba10k", func(b *testing.B) {
+		sys, initials := ba(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for r := 0; r < lanes; r++ {
+				if _, err := sys.Run(ctx, initials[r], dynmon.WithRunSpec(runSpec)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
 }

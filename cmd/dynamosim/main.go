@@ -10,6 +10,14 @@
 //	dynamosim -topology mesh -rows 9 -cols 9 -colors 5 -config minimum -emit-spec > run.json
 //	dynamosim -spec run.json
 //
+// Ensembles run from a batch spec (the JSON form of dynmon.BatchSpec: one
+// system + run section and a list of initial items).  Each item prints as
+// one NDJSON line {"digest":..., "result":...} whose result bytes equal the
+// single-run -spec -result-json output for that item, with eligible
+// two-color ensembles stepped 64 replicas per word on the bit-sliced tier:
+//
+//	dynamosim -batch-spec batch.json
+//
 // Flag examples:
 //
 //	dynamosim -topology mesh -rows 9 -cols 9 -colors 5 -config minimum -render
@@ -53,6 +61,8 @@ import (
 func main() {
 	var (
 		specFile  = flag.String("spec", "", "run the spec file (JSON dynmon.FileSpec) instead of assembling one from flags")
+		batchFile = flag.String("batch-spec", "", "run the batch spec file (JSON dynmon.BatchSpec: system + run + items) and print one NDJSON line per item")
+		workers   = flag.Int("workers", 0, "worker-pool bound for -batch-spec (0 = GOMAXPROCS)")
 		emitSpec  = flag.Bool("emit-spec", false, "print the spec this invocation denotes and exit")
 		topology  = flag.String("topology", "mesh", "torus topology: "+strings.Join(dynmon.TopologyNames(), ", "))
 		rows      = flag.Int("rows", 9, "number of rows (m)")
@@ -90,6 +100,10 @@ func main() {
 
 	if *resume != "" {
 		resumeRun(ctx, *resume, *resJSON)
+		return
+	}
+	if *batchFile != "" {
+		runBatchSpec(ctx, *batchFile, *workers)
 		return
 	}
 
@@ -155,6 +169,47 @@ func runResultJSON(ctx context.Context, sys *dynmon.System, cons *dynmon.Constru
 		fatal(err)
 	}
 	fmt.Println(string(out))
+}
+
+// runBatchSpec runs every item of a batch spec over one shared Session —
+// eligible ensembles ride the bit-sliced tier — and prints one NDJSON line
+// per item, in item order: {"digest":..., "result":...}.  The result bytes
+// are exactly what -spec <item> -result-json would print for the
+// equivalent single-run spec file (pinned by the dynmond e2e smoke), and
+// the digest is that spec file's content address.
+func runBatchSpec(ctx context.Context, file string, workers int) {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		fatal(err)
+	}
+	bs, err := dynmon.ParseBatchSpec(data)
+	if err != nil {
+		fatal(err)
+	}
+	digests := make([]string, len(bs.Items))
+	for i := range bs.Items {
+		if digests[i], err = bs.ItemDigest(i); err != nil {
+			fatal(err)
+		}
+	}
+	sys, initials, err := bs.Initials()
+	if err != nil {
+		fatal(err)
+	}
+	results, err := sys.NewSession(workers).RunBatch(ctx, initials, dynmon.WithRunSpec(bs.Run))
+	if err != nil {
+		fatal(err)
+	}
+	out := json.NewEncoder(os.Stdout)
+	for i, res := range results {
+		line := struct {
+			Digest string         `json:"digest"`
+			Result *dynmon.Result `json:"result"`
+		}{digests[i], res}
+		if err := out.Encode(line); err != nil {
+			fatal(err)
+		}
+	}
 }
 
 // fileSpecFromFlags assembles the declarative form of a flag invocation —

@@ -11,8 +11,9 @@
 //   - a topology-generic synchronous simulation engine: four bit-identical
 //     stepping tiers (full sweep, striped parallel, dirty frontier,
 //     word-parallel bitplane) over any CSR substrate — the three tori or
-//     arbitrary graphs — plus a time-varying run mode that masks link
-//     availability per round — internal/sim;
+//     arbitrary graphs — plus a bit-sliced ensemble tier stepping up to 64
+//     two-color replicas per word op for batched runs, and a time-varying
+//     run mode that masks link availability per round — internal/sim;
 //   - k-block / non-k-block / forest structural analysis — internal/blocks;
 //   - the paper's dynamo constructions, lower bounds, round-count formulas
 //     and counterexamples — internal/dynamo;

@@ -1,0 +1,192 @@
+package dynmon
+
+import (
+	"strings"
+	"testing"
+)
+
+const batchSpecDoc = `{
+  "system": {
+    "substrate": {"topology": {"name": "toroidal-mesh", "rows": 12, "cols": 12}},
+    "colors": 2,
+    "rule": "smp"
+  },
+  "run": {"target": 1, "stop_when_monochromatic": true, "detect_cycles": true},
+  "items": [
+    {"config": "random", "seed": 1},
+    {"config": "random", "seed": 2},
+    {"config": "random", "seed": 3}
+  ]
+}`
+
+func TestParseBatchSpec(t *testing.T) {
+	bs, err := ParseBatchSpec([]byte(batchSpecDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs.Items) != 3 {
+		t.Fatalf("parsed %d items", len(bs.Items))
+	}
+
+	// Strictness: unknown fields, trailing data, empty items.
+	if _, err := ParseBatchSpec([]byte(`{"system":{"substrate":{}},"items":[{}],"bogus":1}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if _, err := ParseBatchSpec([]byte(batchSpecDoc + "{}")); err == nil {
+		t.Error("trailing data accepted")
+	}
+	if _, err := ParseBatchSpec([]byte(`{"system":{"substrate":{"topology":{"name":"toroidal-mesh","rows":9,"cols":9}},"colors":2},"items":[]}`)); err == nil {
+		t.Error("empty item list accepted")
+	}
+
+	// Round trip.
+	wire, err := bs.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := ParseBatchSpec(wire)
+	if err != nil {
+		t.Fatalf("canonical form does not re-parse: %v", err)
+	}
+	d1, err := bs.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := again.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 || !strings.HasPrefix(d1, "sha256:") {
+		t.Fatalf("digest unstable across round trip: %q vs %q", d1, d2)
+	}
+}
+
+// TestBatchSpecItemDigests pins the cache-key sharing contract: item i's
+// digest equals the digest of the equivalent single-run FileSpec, and
+// distinct items get distinct digests.
+func TestBatchSpecItemDigests(t *testing.T) {
+	bs, err := ParseBatchSpec([]byte(batchSpecDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for i := range bs.Items {
+		got, err := bs.ItemDigest(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		item := FileSpec{System: bs.System, Initial: &bs.Items[i], Run: bs.Run}
+		want, err := item.Digest()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("item %d digest %q != single-run spec digest %q", i, got, want)
+		}
+		if seen[got] {
+			t.Fatalf("item %d digest collides with an earlier item", i)
+		}
+		seen[got] = true
+	}
+	// The batch digest is not any item's digest.
+	whole, err := bs.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen[whole] {
+		t.Fatal("batch digest collides with an item digest")
+	}
+}
+
+// TestBatchSpecBuild pins Build against the single-run path: each
+// construction equals what the item's FileSpec builds.
+func TestBatchSpecBuild(t *testing.T) {
+	bs, err := ParseBatchSpec([]byte(batchSpecDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, cons, target, err := bs.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if target != 1 || len(cons) != 3 {
+		t.Fatalf("target %d, %d constructions", target, len(cons))
+	}
+	if sys.Dims() != (Dims{Rows: 12, Cols: 12}) {
+		t.Fatalf("system dims %v", sys.Dims())
+	}
+	for i := range bs.Items {
+		_, single, _, err := bs.Item(i).Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !cons[i].Coloring.Equal(single.Coloring) {
+			t.Fatalf("item %d coloring differs from its single-run spec build", i)
+		}
+	}
+	sys2, initials, err := bs.Initials()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys2 == nil || len(initials) != 3 {
+		t.Fatalf("Initials returned %d colorings", len(initials))
+	}
+	for i := range initials {
+		if !initials[i].Equal(cons[i].Coloring) {
+			t.Fatalf("Initials[%d] differs from Build", i)
+		}
+	}
+	// A broken item surfaces with its index.
+	bad := *bs
+	bad.Items = append([]InitialSpec{}, bs.Items...)
+	bad.Items[1] = InitialSpec{Config: "no-such-family"}
+	if _, _, _, err := bad.Build(); err == nil || !strings.Contains(err.Error(), "item 1") {
+		t.Fatalf("bad item not reported by index: %v", err)
+	}
+}
+
+// FuzzParseBatchSpec fuzzes the strict batch parser: it must never panic,
+// and anything it accepts must validate, re-marshal and re-parse with a
+// stable digest.
+func FuzzParseBatchSpec(f *testing.F) {
+	seeds := []string{
+		batchSpecDoc,
+		`{"system":{"substrate":{"generator":{"name":"barabasi-albert","n":50,"params":{"m":2},"seed":7}},"colors":2},"items":[{"config":"hubs","size":5}]}`,
+		`{"system":{"substrate":{}},"items":[{}]}`,
+		`{"items":[]}`,
+		`{}`,
+		``,
+		`[]`,
+		`{"system":{"substrate":{"topology":{"name":"toroidal-mesh","rows":9,"cols":9}},"colors":2},"run":{"max_rounds":-3},"items":[{"config":"random"}]}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		bs, err := ParseBatchSpec(data)
+		if err != nil {
+			return
+		}
+		if verr := bs.Validate(); verr != nil {
+			t.Fatalf("ParseBatchSpec accepted an invalid batch: %v", verr)
+		}
+		// Digesting may legitimately fail — structural validation accepts
+		// generator names the canonicalizer cannot resolve — but when it
+		// succeeds it must be stable across a round trip.
+		d1, digestErr := bs.Digest()
+		wire, err := bs.JSON()
+		if err != nil {
+			t.Fatalf("accepted batch does not marshal: %v", err)
+		}
+		again, err := ParseBatchSpec(wire)
+		if err != nil {
+			t.Fatalf("accepted batch does not re-parse: %v", err)
+		}
+		if digestErr == nil {
+			d2, err := again.Digest()
+			if err != nil || d1 != d2 {
+				t.Fatalf("digest unstable across round trip: %q vs %q (%v)", d1, d2, err)
+			}
+		}
+	})
+}

@@ -41,7 +41,20 @@
 // delivery is one adapter over the step stream, so observed and unobserved
 // runs cannot diverge.  A Session fans a batch of initial colorings across
 // a bounded worker pool over one shared engine, with bit-identical results
-// to one-at-a-time runs.
+// to one-at-a-time runs.  For two-color ensembles on bitplane-eligible
+// substrates, Session.RunBatch transparently steps up to 64 replicas per
+// word on a bit-sliced tier (replica r rides bit r of each vertex's word;
+// per-lane masks freeze finished replicas), tiling larger batches across
+// the pool and falling back to the per-run loop when ineligible — same
+// API, same Result bytes either way.  Batches are spec-addressable too:
+// a BatchSpec (one system + run section, many initial items) round-trips
+// through ParseBatchSpec, digests as a whole (BatchSpec.Digest) and per
+// item (BatchSpec.ItemDigest, equal to the digest of the item's
+// equivalent single-run FileSpec), and drives both the dynamosim
+// -batch-spec CLI mode and dynserve's POST /v1/batch endpoint.  Greedy
+// target-set selection is spec-shaped as well: System.TargetSet takes a
+// serializable TargetSetSpec (zero values mean defaults) and scores
+// candidate seeds on the sliced tier.
 //
 // Rules, topologies and graph generators are pluggable: RegisterRule,
 // RegisterTopology and RegisterGenerator add new implementations resolvable

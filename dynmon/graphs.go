@@ -165,15 +165,61 @@ func (s *System) SeedRandom(size int, target, background Color, seed uint64) *Co
 	return c
 }
 
-// GreedyTargetSet runs the simulation-driven greedy baseline from the
-// target set selection literature on the system's engine: it repeatedly
-// adds the vertex whose activation most increases the final number of
-// target-colored vertices, until the whole substrate activates or maxSeed
-// vertices are chosen, and returns the chosen vertices.  Every candidate is
-// evaluated with one engine run (maxRounds <= 0 selects the substrate's
-// default budget), so the intended use is substrates of a few hundred
-// vertices; candidateSample > 0 restricts each step to a deterministic
-// random sample of that many candidates.
+// TargetSetSpec configures TargetSet, the simulation-driven greedy seed
+// search.  The zero value is a sensible search: target color 1 spreading
+// over the palette's next color, up to 8 seeds, the substrate's default
+// round budget, every candidate scored each step, RNG seed 0.  It is
+// JSON-serializable so experiment files and services can carry it.
+type TargetSetSpec struct {
+	// Target is the color the seed set should spread (default 1).
+	Target Color `json:"target,omitempty"`
+	// Background is the color every non-seed vertex starts with (default:
+	// the first palette color other than Target).
+	Background Color `json:"background,omitempty"`
+	// MaxSeed caps the number of chosen seed vertices (default 8).
+	MaxSeed int `json:"max_seed,omitempty"`
+	// MaxRounds bounds each candidate evaluation run (<= 0 selects the
+	// substrate's default budget).
+	MaxRounds int `json:"max_rounds,omitempty"`
+	// CandidateSample > 0 restricts each greedy step to a deterministic
+	// random sample of that many candidates; 0 scores every candidate.
+	CandidateSample int `json:"candidate_sample,omitempty"`
+	// Seed drives the candidate-sampling RNG.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// TargetSet runs the simulation-driven greedy baseline from the target set
+// selection literature on the system's engine: it repeatedly adds the
+// vertex whose activation most increases the final number of target-colored
+// vertices, until the whole substrate activates or MaxSeed vertices are
+// chosen, and returns the chosen vertices.  Candidates are scored exactly —
+// 64 at a time on the bit-sliced ensemble tier when the system can slice
+// (two colors, degree-4 substrate, carry-save rule kernel), one pooled
+// engine run each otherwise — so the intended use without a
+// CandidateSample is substrates of a few hundred vertices.  Zero spec
+// fields take the defaults documented on TargetSetSpec.
+func (s *System) TargetSet(spec TargetSetSpec) []int {
+	if spec.Target == 0 {
+		spec.Target = 1
+	}
+	if spec.Background == 0 {
+		spec.Background = spec.Target
+		for _, c := range s.Palette().Others(spec.Target) {
+			spec.Background = c
+			break
+		}
+	}
+	if spec.MaxSeed == 0 {
+		spec.MaxSeed = 8
+	}
+	return graphs.GreedyTargetSetEngine(s.engine, spec.Target, spec.Background,
+		spec.MaxSeed, spec.MaxRounds, spec.CandidateSample, rng.New(spec.Seed))
+}
+
+// GreedyTargetSet is the positional-argument form of TargetSet.
+//
+// Deprecated: use TargetSet with a TargetSetSpec; this wrapper remains for
+// source compatibility and applies no defaulting to its arguments.
 func (s *System) GreedyTargetSet(target, background Color, maxSeed, maxRounds, candidateSample int, seed uint64) []int {
 	return graphs.GreedyTargetSetEngine(s.engine, target, background, maxSeed, maxRounds, candidateSample, rng.New(seed))
 }

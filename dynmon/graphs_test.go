@@ -2,7 +2,9 @@ package dynmon_test
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
+	"fmt"
 	"testing"
 
 	"repro/dynmon"
@@ -204,5 +206,47 @@ func TestTimeVaryingOnGraphSystem(t *testing.T) {
 	}
 	if churny.Final.Count(1) > full.Final.Count(1) {
 		t.Fatal("link churn must not activate more than full availability")
+	}
+}
+
+// TestTargetSetSpec pins the options-struct form of the greedy search: an
+// explicit spec matches the deprecated positional wrapper argument for
+// argument, zero fields resolve to the documented defaults, and the spec
+// round-trips through JSON.
+func TestTargetSetSpec(t *testing.T) {
+	g, err := dynmon.NewBarabasiAlbert(80, 2, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := dynmon.New(dynmon.Graph(g), dynmon.Colors(2), dynmon.WithRule("threshold"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spec := dynmon.TargetSetSpec{Target: 1, Background: 2, MaxSeed: 6, MaxRounds: 120, CandidateSample: 15, Seed: 4}
+	got := sys.TargetSet(spec)
+	want := sys.GreedyTargetSet(1, 2, 6, 120, 15, 4)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("TargetSet(%+v) = %v, positional form %v", spec, got, want)
+	}
+
+	// Zero values: target 1 over background 2 (the next palette color), up
+	// to 8 seeds, default budget, full candidate scan, seed 0.
+	defaults := sys.TargetSet(dynmon.TargetSetSpec{})
+	explicit := sys.GreedyTargetSet(1, 2, 8, 0, 0, 0)
+	if fmt.Sprint(defaults) != fmt.Sprint(explicit) {
+		t.Fatalf("zero spec = %v, explicit defaults %v", defaults, explicit)
+	}
+
+	b, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back dynmon.TargetSetSpec
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != spec {
+		t.Fatalf("JSON round-trip changed the spec: %+v vs %+v", back, spec)
 	}
 }

@@ -2,6 +2,7 @@ package dynmon
 
 import (
 	"context"
+	"errors"
 	"runtime"
 	"sync"
 
@@ -13,11 +14,18 @@ import (
 // for serving many verification requests over one topology/rule pair
 // without rebuilding adjacency tables per request.
 //
-// Each simulation inside a batch runs on the engine's sequential stepper,
-// so results are bit-identical to one-at-a-time System.Run calls; the
-// parallelism is across batch items.  A Session is safe for concurrent use
-// by multiple goroutines; each batch call gets its own pool of up to
-// Workers goroutines.
+// Results are bit-identical to one-at-a-time System.Run calls whichever
+// path a batch takes.  Eligible batches — a two-color ensemble over a
+// degree-4 substrate whose rule has a carry-save kernel, run with default
+// (auto-kernel, sequential, unobserved) options — are stepped on the
+// bit-sliced ensemble tier: up to 64 replicas packed one per bit of each
+// vertex word and advanced together by sim.Engine.RunBatchSliced, with
+// larger batches tiled in 64-lane words across the worker pool.  Anything
+// the slicer cannot take (wider palettes, irregular graphs, forced kernels,
+// observers, …) falls back to the per-run sequential stepper, parallel
+// across batch items.  A Session is safe for concurrent use by multiple
+// goroutines; each batch call gets its own pool of up to Workers
+// goroutines.
 //
 // A Session holds no goroutines, file descriptors or timers between calls —
 // its worker pools are scoped to each RunBatch/VerifyBatch invocation and
@@ -93,23 +101,80 @@ func (se *Session) batchOptions(rs RunSpec) (sim.Options, error) {
 
 // RunBatch evolves every initial coloring under the system's rule and
 // returns one Result per input, in input order.  The run options apply to
-// every item.  When ctx is canceled mid-batch the call returns ctx.Err();
-// entries whose simulation did not complete are nil.
+// every item.  Eligible batches are stepped on the bit-sliced ensemble
+// tier (see the Session doc); ineligible ones run per item.  Either way
+// each entry is bit-identical to what System.Run would have produced.
+// When ctx is canceled mid-batch the call returns ctx.Err(); entries whose
+// simulation did not complete are nil.
 func (se *Session) RunBatch(ctx context.Context, initials []*Coloring, opts ...RunOption) ([]*Result, error) {
 	opt, err := se.batchOptions(runSpecOf(opts))
 	if err != nil {
 		return nil, err
 	}
 	results := make([]*Result, len(initials))
-	err = se.forEach(ctx, len(initials), func(ctx context.Context, i int) error {
+	err = se.runBatchInto(ctx, initials, opt, func(i int, res *sim.Result) {
+		results[i] = res
+	})
+	return results, err
+}
+
+// runBatchInto drives one batch, delivering each completed item's Result
+// through set (called at most once per index, never concurrently for the
+// same index, possibly from different pool goroutines for different ones).
+//
+// Phase 1 tiles the batch into spans of up to 64 replicas and offers each
+// tile to the engine's bit-sliced ensemble stepper; a tile the slicer
+// refuses (sim.ErrBitsliceIneligible — e.g. a lane using more than two
+// colors) is recorded for fallback rather than failing the batch.  Phase 2
+// reruns only the refused indices on the per-run sequential stepper.  Both
+// phases fan out over the session's worker pool; for sliced tiles the tile
+// is the unit of parallelism, the word-level lane parallelism inside it
+// being the point of the exercise.
+func (se *Session) runBatchInto(ctx context.Context, initials []*Coloring, opt sim.Options, set func(i int, res *sim.Result)) error {
+	n := len(initials)
+	tiles := (n + sim.BitsliceLanes - 1) / sim.BitsliceLanes
+	missed := make([][]int, tiles)
+	err := se.forEach(ctx, tiles, func(ctx context.Context, t int) error {
+		lo := t * sim.BitsliceLanes
+		hi := min(lo+sim.BitsliceLanes, n)
+		results, err := se.sys.engine.RunBatchSliced(ctx, initials[lo:hi], opt)
+		if errors.Is(err, sim.ErrBitsliceIneligible) {
+			idx := make([]int, hi-lo)
+			for i := range idx {
+				idx[i] = lo + i
+			}
+			missed[t] = idx
+			return nil
+		}
+		// Lanes that finished before a cancellation still carry results;
+		// deliver them so a partial batch looks the same as the per-run
+		// path's (completed entries set, the rest nil).
+		for i, res := range results {
+			if res != nil {
+				set(lo+i, res)
+			}
+		}
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	var fallback []int
+	for _, idx := range missed {
+		fallback = append(fallback, idx...)
+	}
+	if len(fallback) == 0 {
+		return nil
+	}
+	return se.forEach(ctx, len(fallback), func(ctx context.Context, j int) error {
+		i := fallback[j]
 		res, err := se.sys.engine.RunContext(ctx, initials[i], opt)
 		if err != nil {
 			return err
 		}
-		results[i] = res
+		set(i, res)
 		return nil
 	})
-	return results, err
 }
 
 // VerifyBatch runs every initial coloring to its verdict under the
@@ -130,13 +195,8 @@ func (se *Session) VerifyBatch(ctx context.Context, initials []*Coloring, target
 		return nil, err
 	}
 	reports := make([]*Report, len(initials))
-	err = se.forEach(ctx, len(initials), func(ctx context.Context, i int) error {
-		res, err := se.sys.engine.RunContext(ctx, initials[i], opt)
-		if err != nil {
-			return err
-		}
+	err = se.runBatchInto(ctx, initials, opt, func(i int, res *sim.Result) {
 		reports[i] = se.sys.reportFromResult("batch coloring", initials[i].Count(target), target, res)
-		return nil
 	})
 	return reports, err
 }

@@ -545,7 +545,13 @@ func (s *System) buildGraphInitial(ispec *InitialSpec, target Color) (*Construct
 	case "random":
 		c = s.SeedRandom(size, target, background, ispec.Seed)
 	case "greedy":
-		seeds := s.GreedyTargetSet(target, background, size, 0, 30, ispec.Seed)
+		seeds := s.TargetSet(TargetSetSpec{
+			Target:          target,
+			Background:      background,
+			MaxSeed:         size,
+			CandidateSample: 30,
+			Seed:            ispec.Seed,
+		})
 		c = s.NewColoring(background)
 		for _, v := range seeds {
 			c.Set(v, target)

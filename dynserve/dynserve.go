@@ -24,6 +24,12 @@
 //	                               Accept: text/event-stream, buffered
 //	                               terminal Result JSON with
 //	                               Accept: application/json
+//	POST   /v1/batch               submit a batch spec (one system + run,
+//	                               many initial items) and get one Result
+//	                               per item keyed by per-item digest; items
+//	                               share the /v1/runs result cache, and
+//	                               eligible ensembles step on the
+//	                               bit-sliced 64-replicas-per-word tier
 //	POST   /v1/jobs                submit a spec as a detached job; returns
 //	                               202 with the job id immediately
 //	GET    /v1/jobs                list jobs
@@ -183,6 +189,7 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 // routes mounts the endpoint table.
 func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/runs", s.handleRun)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleAttachJob)

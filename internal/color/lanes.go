@@ -1,0 +1,63 @@
+package color
+
+// Lane packing is the bit-sliced ensemble layout.  Where the bitplane
+// layout (PackPlanes) spreads ONE coloring across words — word w of plane b
+// holds bit b of 64 consecutive vertices — the lane layout spreads up to 64
+// COLORINGS across the bits of per-vertex words: bit r of words[v] is the
+// one-bit encoding (color − 1) of vertex v in replica r.  One word
+// operation then steps the same vertex of 64 independent runs at once,
+// which is the batching shape the ensemble workloads (VerifyBatch sweeps,
+// greedy target-set candidate evaluation, Monte-Carlo replicas) want.  The
+// layout is exact only for two-color states (colors 1 and 2), the k = 2
+// regime of the carry-save BitRule kernels.
+
+// MaxLanes is the ensemble width of the lane layout: one replica per bit of
+// a 64-bit word.
+const MaxLanes = 64
+
+// PackLanes packs the replica colorings runs[0..L-1] (1 ≤ L ≤ MaxLanes)
+// into words, one word per vertex: bit r of words[v] is runs[r]'s color at
+// v minus one.  Bits of unused lanes are cleared.  It returns the largest
+// color seen across the ensemble (its effective palette size, 1 or 2) and
+// whether the packing is exact; ok is false — and words is unspecified —
+// when the lane count is out of range, a replica's length disagrees with
+// len(words), or any cell holds a color outside {1, 2}.
+func PackLanes(runs []*Coloring, words []uint64) (k int, ok bool) {
+	if len(runs) == 0 || len(runs) > MaxLanes {
+		return 0, false
+	}
+	for i := range words {
+		words[i] = 0
+	}
+	k = 1
+	for r, run := range runs {
+		cells := run.Cells()
+		if len(cells) != len(words) {
+			return 0, false
+		}
+		bit := uint64(1) << uint(r)
+		for v, c := range cells {
+			switch c {
+			case 1:
+				// encoding 0: bit stays clear
+			case 2:
+				words[v] |= bit
+				k = 2
+			default:
+				return 0, false
+			}
+		}
+	}
+	return k, true
+}
+
+// UnpackLane extracts replica lane of a lane-packed word array back into
+// dst, the inverse of PackLanes for that lane.  dst must have exactly
+// len(words) cells.
+func UnpackLane(words []uint64, lane int, dst *Coloring) {
+	cells := dst.Cells()
+	_ = cells[len(words)-1]
+	for v, w := range words {
+		cells[v] = Color(1 + (w>>uint(lane))&1)
+	}
+}

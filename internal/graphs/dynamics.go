@@ -1,6 +1,8 @@
 package graphs
 
 import (
+	"context"
+
 	"repro/internal/color"
 	"repro/internal/rng"
 	"repro/internal/rules"
@@ -121,8 +123,13 @@ func GreedyTargetSet(g *Graph, rule rules.Rule, target, background color.Color, 
 
 // GreedyTargetSetEngine is GreedyTargetSet over an already built engine —
 // the form the public dynmon systems use, and the reason the greedy search
-// inherits the engine tiers: every candidate evaluation is a pooled
-// frontier run, not a fresh full-sweep loop.
+// inherits the engine tiers: candidate evaluations run 64 at a time on the
+// bit-sliced ensemble stepper when the engine can slice (a two-color
+// {target, background} palette over a degree-4 substrate whose rule has a
+// carry-save kernel), and otherwise fall back to per-candidate pooled
+// frontier runs.  Both paths score candidates identically — the sliced
+// tier is bit-exact — so the chosen seeds never depend on the tier
+// (pinned by TestGreedyTargetSetMatchesLegacy and its sliced twin).
 func GreedyTargetSetEngine(eng *sim.Engine, target, background color.Color, maxSeed, maxRounds, candidateSample int, src *rng.Source) []int {
 	if src == nil {
 		src = rng.New(1)
@@ -139,6 +146,43 @@ func GreedyTargetSetEngine(eng *sim.Engine, target, background color.Color, maxS
 		}
 		return eng.Run(c, sim.Options{MaxRounds: maxRounds}).Final.Count(target)
 	}
+
+	// Batch evaluation: score every candidate of one greedy round, 64 lanes
+	// per sliced run.  Lane i is the round's base coloring (background +
+	// current seeds) with candidate i activated — exactly the coloring the
+	// scalar evaluate() would run.  Returns false (leaving gains
+	// unspecified) when the engine refuses to slice; the first refusal
+	// disables batching for the rest of the search since eligibility cannot
+	// change between rounds.
+	sliceable := true
+	base := color.NewColoring(d, background)
+	var lanes []*color.Coloring
+	batchGains := func(candidates []int, gains []int) bool {
+		base.Fill(background)
+		for v := range seed {
+			base.Set(v, target)
+		}
+		for lo := 0; lo < len(candidates); lo += color.MaxLanes {
+			hi := min(lo+color.MaxLanes, len(candidates))
+			for len(lanes) < hi-lo {
+				lanes = append(lanes, color.NewColoring(d, background))
+			}
+			chunk := lanes[:hi-lo]
+			for i, v := range candidates[lo:hi] {
+				chunk[i].CopyFrom(base)
+				chunk[i].Set(v, target)
+			}
+			results, err := eng.RunBatchSliced(context.Background(), chunk, sim.Options{MaxRounds: maxRounds})
+			if err != nil {
+				return false
+			}
+			for i, res := range results {
+				gains[lo+i] = res.Final.Count(target)
+			}
+		}
+		return true
+	}
+
 	current := 0
 	for len(chosen) < maxSeed && current < n {
 		candidates := make([]int, 0, n)
@@ -152,12 +196,26 @@ func GreedyTargetSetEngine(eng *sim.Engine, target, background color.Color, maxS
 			candidates = candidates[:candidateSample]
 		}
 		bestVertex, bestGain := -1, -1
-		for _, v := range candidates {
-			seed[v] = true
-			gain := evaluate()
-			delete(seed, v)
-			if gain > bestGain {
-				bestGain, bestVertex = gain, v
+		if sliceable {
+			gains := make([]int, len(candidates))
+			if batchGains(candidates, gains) {
+				for i, v := range candidates {
+					if gains[i] > bestGain {
+						bestGain, bestVertex = gains[i], v
+					}
+				}
+			} else {
+				sliceable = false
+			}
+		}
+		if !sliceable {
+			for _, v := range candidates {
+				seed[v] = true
+				gain := evaluate()
+				delete(seed, v)
+				if gain > bestGain {
+					bestGain, bestVertex = gain, v
+				}
 			}
 		}
 		if bestVertex < 0 {

@@ -293,3 +293,26 @@ func TestDefaultMaxRoundsDegreeAware(t *testing.T) {
 		t.Fatal("view budget must match the graph budget")
 	}
 }
+
+// TestGreedyTargetSetSlicedMatchesLegacy is the sliced twin of the legacy
+// pin: on a degree-4 circulant the candidate evaluations run 64 lanes at a
+// time on the bit-sliced ensemble tier, and the chosen seeds must still be
+// exactly the legacy per-candidate loop's.
+func TestGreedyTargetSetSlicedMatchesLegacy(t *testing.T) {
+	const n = 90
+	g := NewGraph(n)
+	for v := 0; v < n; v++ {
+		g.AddEdge(v, (v+1)%n)
+		g.AddEdge(v, (v+2)%n)
+	}
+	rule := rules.Threshold{Target: 1, Theta: 2}
+	before := sim.BitsliceBatches()
+	got := GreedyTargetSet(g, rule, 1, 2, 5, 120, 20, rng.New(4))
+	if sim.BitsliceBatches() == before {
+		t.Fatal("sliced candidate evaluation did not engage on a degree-4 circulant")
+	}
+	want := legacyGreedyTargetSet(g, rule, 1, 2, 5, 120, 20, rng.New(4))
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("greedy choices diverged: %v vs legacy %v", got, want)
+	}
+}

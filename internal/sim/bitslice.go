@@ -1,0 +1,502 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+
+	"repro/internal/color"
+	"repro/internal/grid"
+	"repro/internal/rules"
+)
+
+// ErrBitsliceIneligible reports that a batch cannot run on the bit-sliced
+// ensemble tier and must fall back to the per-run loop.  Callers branch on
+// it with errors.Is; the wrapped message says which requirement failed.
+var ErrBitsliceIneligible = errors.New("sim: batch has no exact bit-sliced form")
+
+// BitsliceLanes is the ensemble width of the bit-sliced tier: one replica
+// per bit of a 64-bit word.
+const BitsliceLanes = color.MaxLanes
+
+// Bitslice steps up to 64 independent runs of one engine simultaneously by
+// flipping the bitplane tier's packing axis: where a Bitplane packs 64
+// VERTICES of one run per word, a Bitslice packs the same vertex of 64
+// REPLICAS per word (bit r = replica r's one-bit state, internal/color
+// PackLanes layout).  Each round gathers the four neighbor words through
+// the engine's CSR index and pushes all lanes through the same carry-save
+// rules.BitKernel the bitplane tier uses — the kernels are bitwise, so they
+// are exact per lane regardless of which axis the bits came from.  The tier
+// requires a 4-regular substrate, a BitRule with a two-color kernel and
+// replica colorings over {1, 2}.
+//
+// Finished replicas freeze in place: Freeze masks lanes out of the update
+// (their bits hold their terminal state) while the remaining lanes keep
+// stepping, which is how ensembles with mixed termination rounds share one
+// word stream.  Steady-state stepping allocates nothing (pinned by
+// TestBitsliceStepAllocs).
+type Bitslice struct {
+	e    *Engine
+	kern rules.BitKernel
+	// n is the vertex count; every plane array holds one word per vertex.
+	n     int
+	lanes int
+	// laneMask has bits 0..lanes-1 set; active is the subset still stepping.
+	laneMask, active uint64
+	round            int
+
+	// st is the kernel view: Planes == 1, slices indexed by vertex.
+	st rules.BitState
+
+	// Per-round bookkeeping, refreshed by Step and valid until the next one.
+	counts          [BitsliceLanes]int // per-lane changed-vertex counts
+	laneChanged     uint64             // lanes with at least one change
+	monoAnd, monoOr uint64             // AND/OR folds of the new state over all vertices
+	cycleEq         uint64             // lanes whose new state equals the state two rounds ago
+	lostTarget      uint64             // lanes where some vertex left the tracked target color
+
+	detectCycles bool
+	prevPrev     []uint64 // state two rounds ago, maintained only when detectCycles
+
+	// Target-spread tracking (driver-configured): targetEnc is the tracked
+	// color's one-bit encoding (0 or 1), -1 for a target outside the
+	// two-color state space (nothing can ever reach it), or trackOff.
+	targetEnc int
+	ever      []uint64             // lanes that ever held the target, per vertex
+	first     [BitsliceLanes][]int // per-lane FirstReached sinks (nil = untracked)
+
+	// cnt holds bit-sliced vertical counters: plane i carries bit i of every
+	// lane's running changed-vertex count for the round in flight.  cntHi is
+	// the number of planes touched since the last fold.
+	cnt   []uint64
+	cntHi int
+}
+
+// targetEnc sentinel: no target tracking configured.
+const trackOff = -2
+
+// bitsliceBatches counts completed RunBatchSliced calls, so tests can
+// assert the transparent fast path actually engaged rather than silently
+// falling back.
+var bitsliceBatches atomic.Int64
+
+// BitsliceBatches returns the process-wide number of batches the bit-sliced
+// tier has completed (a test instrumentation counter).
+func BitsliceBatches() int64 { return bitsliceBatches.Load() }
+
+// batchSliceable decides whether a batch may run on the bit-sliced tier
+// under the given options.  Cell-level eligibility (colors ⊆ {1, 2}) is
+// decided later, by the pack.
+func (e *Engine) batchSliceable(initials []*color.Coloring, opt Options) error {
+	if len(initials) == 0 {
+		return fmt.Errorf("%w: empty batch", ErrBitsliceIneligible)
+	}
+	if len(initials) > BitsliceLanes {
+		return fmt.Errorf("%w: %d replicas exceed the %d-lane word", ErrBitsliceIneligible, len(initials), BitsliceLanes)
+	}
+	if opt.Kernel != KernelAuto {
+		return fmt.Errorf("%w: kernel forced to %s", ErrBitsliceIneligible, opt.Kernel)
+	}
+	if opt.Parallel || opt.FullSweep || opt.RecordHistory || len(opt.Observers) > 0 {
+		return fmt.Errorf("%w: per-run stepping options requested", ErrBitsliceIneligible)
+	}
+	if opt.TimeVarying != nil {
+		return fmt.Errorf("%w: time-varying runs are pinned to sweep semantics", ErrBitsliceIneligible)
+	}
+	if !e.deg4 {
+		return fmt.Errorf("%w: substrate %q is not a dense 4-regular index", ErrBitsliceIneligible, e.sub.Name())
+	}
+	if e.bitRule == nil {
+		return fmt.Errorf("%w: rule %q has no word-parallel kernel", ErrBitsliceIneligible, e.rule.Name())
+	}
+	if _, ok := e.bitRule.BitKernel(2); !ok {
+		return fmt.Errorf("%w: rule %q has no kernel for palette {1, 2}", ErrBitsliceIneligible, e.rule.Name())
+	}
+	d := e.sub.Dims()
+	for _, c := range initials {
+		if c == nil || c.Dims() != d {
+			return fmt.Errorf("%w: replica dimensions disagree with the substrate", ErrBitsliceIneligible)
+		}
+	}
+	return nil
+}
+
+// newBitslice allocates a stepper's full working set for the engine.
+func (e *Engine) newBitslice() *Bitslice {
+	n := e.sub.Dims().N()
+	bs := &Bitslice{e: e, n: n}
+	bs.st.Planes = 1
+	bs.st.Cur[0] = make([]uint64, n)
+	bs.st.Next[0] = make([]uint64, n)
+	for p := 0; p < rules.BitPorts; p++ {
+		bs.st.Nbr[p][0] = make([]uint64, n)
+	}
+	bs.prevPrev = make([]uint64, n)
+	bs.ever = make([]uint64, n)
+	bs.cnt = make([]uint64, bits.Len(uint(n))+1)
+	return bs
+}
+
+// getSlice returns a pooled (or, under fresh, a private) stepper.
+func (e *Engine) getSlice(fresh bool) *Bitslice {
+	if !fresh {
+		if v := e.slicePool.Get(); v != nil {
+			return v.(*Bitslice)
+		}
+	}
+	return e.newBitslice()
+}
+
+// putSlice returns a stepper to the pool (dropped under fresh).
+func (e *Engine) putSlice(bs *Bitslice, fresh bool) {
+	if fresh {
+		return
+	}
+	for r := range bs.first {
+		bs.first[r] = nil // don't pin result slices between batches
+	}
+	e.slicePool.Put(bs)
+}
+
+// reset packs the replicas and rewinds all bookkeeping to round zero.
+func (bs *Bitslice) reset(initials []*color.Coloring) error {
+	bs.lanes = len(initials)
+	bs.laneMask = ^uint64(0) >> uint(64-bs.lanes)
+	bs.active = bs.laneMask
+	bs.round = 0
+	if _, ok := color.PackLanes(initials, bs.st.Cur[0]); !ok {
+		return fmt.Errorf("%w: a replica uses colors outside {1, 2}", ErrBitsliceIneligible)
+	}
+	// The two-color kernel is exact for every configuration over {1, 2},
+	// including all-1 replicas, so the ensemble always steps through it.
+	kern, ok := bs.e.bitRule.BitKernel(2)
+	if !ok {
+		return fmt.Errorf("%w: rule %q has no kernel for palette {1, 2}", ErrBitsliceIneligible, bs.e.rule.Name())
+	}
+	bs.kern = kern
+	copy(bs.prevPrev, bs.st.Cur[0])
+	bs.detectCycles = false
+	bs.targetEnc = trackOff
+	bs.counts = [BitsliceLanes]int{}
+	bs.laneChanged, bs.monoAnd, bs.monoOr, bs.cycleEq, bs.lostTarget = 0, 0, 0, 0, 0
+	for i := range bs.cnt {
+		bs.cnt[i] = 0
+	}
+	bs.cntHi = 0
+	for r := range bs.first {
+		bs.first[r] = nil
+	}
+	return nil
+}
+
+// NewBitslice returns an ensemble stepper over the engine's substrate and
+// rule, one lane per initial coloring, or an error (wrapping
+// ErrBitsliceIneligible) describing why the batch has no exact bit-sliced
+// form.  It is the entry point for benchmarks and callers driving rounds by
+// hand; RunBatchSliced uses a pooled stepper internally.
+func (e *Engine) NewBitslice(initials []*color.Coloring) (*Bitslice, error) {
+	if err := e.batchSliceable(initials, Options{}); err != nil {
+		return nil, err
+	}
+	bs := e.newBitslice()
+	if err := bs.reset(initials); err != nil {
+		return nil, err
+	}
+	return bs, nil
+}
+
+// Lanes returns the ensemble width (the number of packed replicas).
+func (bs *Bitslice) Lanes() int { return bs.lanes }
+
+// Round returns the number of rounds stepped so far.
+func (bs *Bitslice) Round() int { return bs.round }
+
+// Active returns the mask of lanes still stepping.
+func (bs *Bitslice) Active() uint64 { return bs.active }
+
+// Freeze removes the masked lanes from the update: their bits keep their
+// current state through every later Step while the remaining lanes run.
+func (bs *Bitslice) Freeze(mask uint64) { bs.active &^= mask }
+
+// DetectCycles enables the two-rounds-ago comparison behind Cycle.  Call it
+// before the first Step.
+func (bs *Bitslice) DetectCycles(on bool) { bs.detectCycles = on }
+
+// LaneChanges returns the number of vertices lane r changed in the last
+// Step (frozen lanes report 0 from their final active round onward).
+func (bs *Bitslice) LaneChanges(r int) int { return bs.counts[r] }
+
+// LaneChanged returns the mask of lanes that changed at least one vertex in
+// the last Step.
+func (bs *Bitslice) LaneChanged() uint64 { return bs.laneChanged }
+
+// Monochromatic reports whether lane r's configuration was monochromatic
+// after the last Step.
+func (bs *Bitslice) Monochromatic(r int) bool {
+	return (bs.monoAnd|^bs.monoOr)>>uint(r)&1 == 1
+}
+
+// Cycle reports whether lane r's configuration after the last Step equals
+// its configuration two rounds earlier (a period-2 limit cycle; meaningful
+// only under DetectCycles, and subsumed by a fixed point when the lane did
+// not change).
+func (bs *Bitslice) Cycle(r int) bool { return bs.cycleEq>>uint(r)&1 == 1 }
+
+// setTarget configures target-spread tracking: enc outside the one-bit
+// state space tracks nothing (the target can never be reached), matching
+// the scalar tiers' zero target masks.  The ever-held seed is derived from
+// the packed round-0 state, so call it after reset and before stepping.
+func (bs *Bitslice) setTarget(target color.Color) {
+	enc := int(target) - 1
+	if enc != 0 && enc != 1 {
+		enc = -1
+	}
+	bs.targetEnc = enc
+	cur := bs.st.Cur[0]
+	for v := range cur {
+		t := uint64(0)
+		switch enc {
+		case 1:
+			t = cur[v]
+		case 0:
+			t = ^cur[v]
+		}
+		bs.ever[v] = t & bs.laneMask
+	}
+}
+
+// Step advances every active lane one synchronous round: gather the four
+// neighbor words per vertex through the CSR forward index, apply the
+// carry-save kernel to all lanes at once, freeze inactive lanes back to
+// their prior state, and refresh the per-lane bookkeeping (change counts,
+// monochromatic/cycle folds, target spread).  It allocates nothing.
+func (bs *Bitslice) Step() {
+	bs.round++
+	n := bs.n
+	cur, next := bs.st.Cur[0], bs.st.Next[0]
+	n0, n1, n2, n3 := bs.st.Nbr[0][0], bs.st.Nbr[1][0], bs.st.Nbr[2][0], bs.st.Nbr[3][0]
+	fwd := bs.e.csr.Neighbors
+	_ = fwd[grid.Degree*n-1]
+	for v := 0; v < n; v++ {
+		b := grid.Degree * v
+		n0[v] = cur[fwd[b]]
+		n1[v] = cur[fwd[b+1]]
+		n2[v] = cur[fwd[b+2]]
+		n3[v] = cur[fwd[b+3]]
+	}
+	bs.kern.StepWords(&bs.st, 0, n)
+
+	act, lm := bs.active, bs.laneMask
+	monoAnd, monoOr := ^uint64(0), uint64(0)
+	cycleEq := ^uint64(0)
+	var changed, lost uint64
+	pp := bs.prevPrev
+	dc := bs.detectCycles
+	enc := bs.targetEnc
+	for v := 0; v < n; v++ {
+		cv := cur[v]
+		nx := next[v]&act | cv&^act
+		next[v] = nx
+		if d := cv ^ nx; d != 0 {
+			changed |= d
+			bs.countAdd(d)
+		}
+		monoAnd &= nx
+		monoOr |= nx
+		if dc {
+			cycleEq &= ^(nx ^ pp[v])
+			pp[v] = cv
+		}
+		if enc >= 0 {
+			told, tnew := cv, nx
+			if enc == 0 {
+				told, tnew = ^cv, ^nx
+			}
+			told &= lm
+			tnew &= lm
+			lost |= told &^ tnew
+			if newly := tnew &^ bs.ever[v]; newly != 0 {
+				bs.ever[v] |= newly
+				for m := newly; m != 0; m &= m - 1 {
+					if fr := bs.first[bits.TrailingZeros64(m)]; fr != nil {
+						fr[v] = bs.round
+					}
+				}
+			}
+		}
+	}
+	bs.laneChanged = changed
+	bs.monoAnd, bs.monoOr = monoAnd, monoOr
+	bs.cycleEq = cycleEq
+	bs.lostTarget = lost
+	// Fold the vertical counters into per-lane counts and clear them.
+	for m := act; m != 0; m &= m - 1 {
+		r := bits.TrailingZeros64(m)
+		c := 0
+		for i := 0; i < bs.cntHi; i++ {
+			c |= int(bs.cnt[i]>>uint(r)&1) << uint(i)
+		}
+		bs.counts[r] = c
+	}
+	for i := 0; i < bs.cntHi; i++ {
+		bs.cnt[i] = 0
+	}
+	bs.cntHi = 0
+	bs.st.Cur[0], bs.st.Next[0] = next, cur
+}
+
+// countAdd carry-saves one diff word into the vertical per-lane counters.
+func (bs *Bitslice) countAdd(d uint64) {
+	for i := 0; ; i++ {
+		t := bs.cnt[i]
+		bs.cnt[i] = t ^ d
+		d &= t
+		if i >= bs.cntHi {
+			bs.cntHi = i + 1
+		}
+		if d == 0 {
+			return
+		}
+	}
+}
+
+// Unpack extracts lane r's current configuration into dst (allocated when
+// nil) and returns it.
+func (bs *Bitslice) Unpack(r int, dst *color.Coloring) *color.Coloring {
+	if dst == nil {
+		dst = color.NewColoring(bs.e.sub.Dims(), color.None)
+	}
+	color.UnpackLane(bs.st.Cur[0], r, dst)
+	return dst
+}
+
+// unpackPrev extracts lane r's configuration before the last Step (the
+// swapped-out buffer), the per-lane equivalent of a driver's prevConfig.
+func (bs *Bitslice) unpackPrev(r int) *color.Coloring {
+	prev := color.NewColoring(bs.e.sub.Dims(), color.None)
+	color.UnpackLane(bs.st.Next[0], r, prev)
+	return prev
+}
+
+// RunBatchSliced evolves up to 64 initial colorings to their terminal
+// Results in one bit-sliced word stream, bit-identical — field for field,
+// including the kernel/downshift metadata a scalar auto-tier run would
+// report — to running each replica through RunContext with the same
+// options.  Per-lane termination masks let replicas stop on their own round
+// (fixed point, monochromatic, cycle or budget) while the rest keep
+// stepping.  Ineligible batches (wrong substrate, rule, options or colors)
+// return an error wrapping ErrBitsliceIneligible without side effects, so
+// callers can fall back to the per-run loop.
+//
+// When ctx is canceled mid-batch the call returns ctx.Err() together with
+// the results of the lanes that already terminated; still-active lanes are
+// nil, matching the batch-session contract.
+func (e *Engine) RunBatchSliced(ctx context.Context, initials []*color.Coloring, opt Options) ([]*Result, error) {
+	if err := e.batchSliceable(initials, opt); err != nil {
+		return nil, err
+	}
+	bs := e.getSlice(opt.FreshBuffers)
+	if err := bs.reset(initials); err != nil {
+		e.putSlice(bs, opt.FreshBuffers)
+		return nil, err
+	}
+	defer e.putSlice(bs, opt.FreshBuffers)
+
+	maxRounds := opt.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = e.sub.DefaultMaxRounds()
+	}
+	bs.detectCycles = opt.DetectCycles
+	if opt.Target != color.None {
+		bs.setTarget(opt.Target)
+	}
+
+	// Per-lane Results carry the metadata the scalar auto tier would have
+	// chosen for that replica alone: the bitplane kernel (with its
+	// low-churn downshift round) where bitplaneCheck passes, the dirty
+	// frontier otherwise.  The numerical fields agree across tiers by the
+	// kernels' exactness, so emulating the metadata keeps sliced results
+	// byte-identical to scalar ones — the invariant the dynserve result
+	// cache is built on.
+	results := make([]*Result, len(initials))
+	resBuf := make([]*Result, len(initials))
+	var emulate uint64 // lanes whose scalar run would report the bitplane tier
+	for r, init := range initials {
+		res := &Result{MonotoneTarget: true, Workers: 1, Kernel: KernelFrontier}
+		if e.topo != nil {
+			if _, _, _, err := e.bitplaneCheck(init); err == nil {
+				res.Kernel = KernelBitplane
+				emulate |= 1 << uint(r)
+			}
+		}
+		initTargetTrace(res, init, opt.Target)
+		bs.first[r] = res.FirstReached
+		resBuf[r] = res
+	}
+
+	lowChurn := make([]int, len(initials))
+	for {
+		if err := ctx.Err(); err != nil {
+			return results, err
+		}
+		bs.Step()
+		round := bs.round
+		var freeze uint64
+		for m := bs.active; m != 0; m &= m - 1 {
+			r := bits.TrailingZeros64(m)
+			res := resBuf[r]
+			c := bs.counts[r]
+			res.Rounds = round
+			res.ChangesPerRound = append(res.ChangesPerRound, c)
+			if bs.lostTarget>>uint(r)&1 == 1 {
+				res.MonotoneTarget = false
+			}
+			// The stop conditions and their precedence replicate drive's.
+			done, needPrev := false, true
+			switch {
+			case c == 0:
+				res.FixedPoint = true
+				done, needPrev = true, false
+			case opt.StopWhenMonochromatic && bs.Monochromatic(r):
+				done, needPrev = true, false
+			case opt.DetectCycles && bs.Cycle(r):
+				res.Cycle = true
+				done = true
+			case round == maxRounds:
+				done = true
+			}
+			if !done {
+				if emulate>>uint(r)&1 == 1 && res.Downshift == 0 {
+					// The scalar bitplane driver's low-churn handoff.
+					if c*downshiftFactor < bs.n {
+						lowChurn[r]++
+					} else {
+						lowChurn[r] = 0
+					}
+					if lowChurn[r] >= downshiftRounds {
+						res.Downshift = round + 1
+					}
+				}
+				continue
+			}
+			freeze |= 1 << uint(r)
+			if needPrev {
+				res.prev = bs.unpackPrev(r)
+			}
+			// Inline finish() on the freshly unpacked final (no extra clone).
+			res.Final = bs.Unpack(r, nil)
+			res.FinalColor, res.Monochromatic = res.Final.IsMonochromatic()
+			if opt.Target == color.None {
+				res.MonotoneTarget = false
+			}
+			results[r] = res
+		}
+		bs.Freeze(freeze)
+		if bs.active == 0 {
+			bitsliceBatches.Add(1)
+			return results, nil
+		}
+	}
+}

@@ -412,6 +412,9 @@ type Engine struct {
 	// pool recycles per-run state (double buffers, frontier queues) across
 	// runs.
 	pool sync.Pool
+	// slicePool recycles bit-sliced ensemble steppers (Bitslice) across
+	// batches the same way.
+	slicePool sync.Pool
 }
 
 // NewEngine builds an engine for the given torus topology and rule.  It is
