@@ -16,6 +16,21 @@
 // On SIGINT/SIGTERM the server drains: in-flight runs finish or are evicted
 // to checkpoints, new submissions get 503, and the process exits when the
 // pool is idle or -drain-timeout expires.
+//
+// With -data-dir the server becomes crash-safe: every job's spec, state and
+// newest checkpoint are persisted with atomic writes, and a restart on the
+// same directory re-registers every job — finished jobs serve their stored
+// Result, interrupted jobs restart from their last checkpoint and, by the
+// engine's determinism contract, finish with bytes identical to an
+// uninterrupted run.  Probe /readyz (not /healthz) for traffic-readiness:
+// it is 503 while startup recovery runs and during drain.
+//
+// -failpoints (or DYNMOND_FAILPOINTS) arms fault injection for chaos tests:
+//
+//	dynmond -data-dir /tmp/jobs -failpoints 'checkpoint-slow=sleep:250ms'
+//
+// Never arm failpoints in production; the flag exists to make crash and
+// fault drills reproducible.
 package main
 
 import (
@@ -32,6 +47,7 @@ import (
 	"time"
 
 	"repro/dynserve"
+	"repro/dynserve/fault"
 )
 
 func main() {
@@ -44,17 +60,30 @@ func main() {
 		runTimeout   = flag.Duration("run-timeout", 0, "per-run budget (0 = default 5m, negative disables)")
 		maxBody      = flag.Int64("max-request-bytes", 0, "request body cap (0 = default 1MiB)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for runs to settle")
+		dataDir      = flag.String("data-dir", "", "persist jobs here and recover them on restart (empty = in-memory only)")
+		failpoints   = flag.String("failpoints", os.Getenv("DYNMOND_FAILPOINTS"), "arm fault-injection failpoints, e.g. 'worker-panic=once,checkpoint-slow=sleep:250ms' (testing only)")
 	)
 	flag.Parse()
 
-	srv := dynserve.New(dynserve.Config{
+	if *failpoints != "" {
+		if err := fault.ArmAll(*failpoints); err != nil {
+			log.Fatalf("dynmond: -failpoints: %v", err)
+		}
+		log.Printf("dynmond: FAULT INJECTION ARMED: %v — never run production traffic like this", fault.Active())
+	}
+
+	srv, err := dynserve.New(dynserve.Config{
 		Workers:         *workers,
 		QueueDepth:      *queue,
 		CacheEntries:    *cache,
 		CheckpointEvery: *cpEvery,
 		RunTimeout:      *runTimeout,
 		MaxRequestBytes: *maxBody,
+		DataDir:         *dataDir,
 	})
+	if err != nil {
+		log.Fatalf("dynmond: %v", err)
+	}
 	expvar.Publish("dynmond", expvar.Func(func() any { return srv.Metrics().Snapshot() }))
 
 	mux := http.NewServeMux()

@@ -9,6 +9,12 @@
 // The exit status is nonzero when any request fails with a real error;
 // 429 shedding is counted separately (it is the server's specified overload
 // behavior, not a failure).
+//
+// With -retries N each shed (429) or unavailable (503) response is retried
+// up to N times with capped jittered exponential backoff, honoring the
+// server's Retry-After hint; the whole chain shares the -timeout deadline.
+// Keep -retries 0 when measuring shedding itself — retries convert shed
+// responses into eventual completions.
 package main
 
 import (
@@ -28,8 +34,11 @@ func main() {
 		specs   = flag.String("spec", "", "comma-separated spec files to submit round-robin (required)")
 		total   = flag.Int("n", 1000, "total submissions")
 		conc    = flag.Int("c", 64, "concurrent clients")
-		timeout = flag.Duration("timeout", 30*time.Second, "per-request timeout")
+		timeout = flag.Duration("timeout", 30*time.Second, "per-submission deadline including retries")
 		out     = flag.String("o", "", "write a benchjson/v1 report to this file")
+		retries = flag.Int("retries", 0, "retry attempts after a 429/503 (0 = statuses are final)")
+		backoff = flag.Duration("backoff", 100*time.Millisecond, "base retry backoff, doubled and jittered per attempt")
+		maxWait = flag.Duration("max-backoff", 5*time.Second, "retry backoff cap")
 	)
 	flag.Parse()
 
@@ -48,19 +57,22 @@ func main() {
 	}
 
 	rep, err := loadtest.Run(context.Background(), loadtest.Options{
-		URL:         *url,
-		Specs:       bodies,
-		Total:       *total,
-		Concurrency: *conc,
-		Timeout:     *timeout,
+		URL:             *url,
+		Specs:           bodies,
+		Total:           *total,
+		Concurrency:     *conc,
+		Timeout:         *timeout,
+		Retries:         *retries,
+		RetryBackoff:    *backoff,
+		RetryBackoffMax: *maxWait,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dynmondload: %v\n", err)
 		os.Exit(1)
 	}
 
-	fmt.Printf("total=%d ok=%d shed=%d errors=%d elapsed=%s throughput=%.1f req/s\n",
-		rep.Total, rep.OK, rep.Shed, rep.Errors, rep.Elapsed.Round(time.Millisecond), rep.Throughput)
+	fmt.Printf("total=%d ok=%d shed=%d errors=%d retries=%d elapsed=%s throughput=%.1f req/s\n",
+		rep.Total, rep.OK, rep.Shed, rep.Errors, rep.Retries, rep.Elapsed.Round(time.Millisecond), rep.Throughput)
 	fmt.Printf("latency p50=%s p90=%s p99=%s max=%s (concurrency=%d)\n",
 		rep.P50, rep.P90, rep.P99, rep.Max, rep.Concurrency)
 

@@ -38,27 +38,43 @@
 //	GET    /v1/jobs/{id}/checkpoint  latest durable checkpoint of the job
 //	POST   /v1/jobs/{id}/evict     checkpoint the job and free its worker
 //	DELETE /v1/jobs/{id}           cancel the job
-//	GET    /healthz                liveness (503 while draining)
+//	GET    /healthz                liveness: 200 whenever the process serves
+//	GET    /readyz                 readiness: 503 during startup recovery and
+//	                               while draining, 200 otherwise
 //	GET    /metrics                Prometheus text metrics
 //
 // Admission control keeps the server upright under overload: at most
 // Config.Workers runs execute at once, at most Config.QueueDepth submissions
 // wait for a slot, and everything beyond that is shed with 429 rather than
-// queued into collapse.  Per-request budgets ride the ordinary context
-// plumbing — the engine observes cancellation at every round boundary.
+// queued into collapse — the Retry-After on a shed reflects the actual queue
+// pressure.  Per-request budgets ride the ordinary context plumbing — the
+// engine observes cancellation at every round boundary.
+//
+// With Config.DataDir set, jobs are durable across crashes: every job's
+// spec, state and newest checkpoint live on disk (atomic replace writes), a
+// restarted server re-attaches parked jobs and restarts previously-running
+// ones from their last checkpoint, and — because resumed runs are pinned
+// bit-identical to uninterrupted ones — the recovered terminal Result is
+// byte-for-byte the one the crash interrupted.  Failure paths (worker
+// panics, checkpoint I/O errors, dropped streams) are testable via the
+// repro/dynserve/fault failpoint package; injected worker panics and
+// checkpoint-write errors fail only the affected job.
 package dynserve
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/dynmon"
+	"repro/dynserve/fault"
 )
 
 // Config tunes the server.  The zero value is usable: every field has a
@@ -91,6 +107,12 @@ type Config struct {
 	RunTimeout time.Duration
 	// JobRetention is how long terminal jobs stay listable (default 15m).
 	JobRetention time.Duration
+	// DataDir, when set, makes jobs durable: specs, states and checkpoints
+	// persist under this directory (atomic write-temp → fsync → rename) and
+	// a restarted server recovers them — parked jobs re-attach, jobs that
+	// were running restart from their newest checkpoint.  Empty keeps jobs
+	// in memory only.
+	DataDir string
 }
 
 // withDefaults fills unset fields.
@@ -137,15 +159,21 @@ type Server struct {
 	results *lruCache // FileSpec digest -> cachedResult
 	systems *lruCache // system Spec digest -> *dynmon.System
 	jobs    *jobTable
+	store   *Store // nil without Config.DataDir
 
 	// Admission: sem holds the worker slots, queued counts waiters.
 	sem    chan struct{}
 	queued atomic.Int64
 
+	// avgRunNanos is an EWMA of recent run durations, the basis of the
+	// queue-pressure Retry-After estimate on shed responses.
+	avgRunNanos atomic.Int64
+
 	// sysBuild serializes substrate construction per digest so a thundering
 	// herd of identical cold specs builds one system, not N.
 	sysBuild sync.Mutex
 
+	ready    atomic.Bool // startup recovery finished; /readyz gates on this
 	draining atomic.Bool
 	baseCtx  context.Context
 	cancel   context.CancelFunc
@@ -159,8 +187,12 @@ type cachedResult struct {
 	kernel string
 }
 
-// New returns a ready Server.
-func New(cfg Config) *Server {
+// New returns a ready Server.  With Config.DataDir set it opens the durable
+// job store and recovers persisted jobs: every job is registered before New
+// returns (so ids resolve immediately), while previously-running jobs
+// restart from their checkpoints in the background — /readyz answers 503
+// until that recovery pass has finished.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:     cfg,
@@ -176,12 +208,65 @@ func New(cfg Config) *Server {
 	s.metrics.InFlight = func() int64 { return int64(len(s.sem)) }
 	s.metrics.CacheEntries = func() int64 { return int64(s.results.Len()) }
 	s.metrics.JobsLive = func() int64 { return int64(s.jobs.Len()) }
+	s.metrics.Ready = func() int64 {
+		if s.ready.Load() && !s.draining.Load() {
+			return 1
+		}
+		return 0
+	}
+	s.metrics.FaultsFired = fault.FiredTotal
 	s.routes()
-	return s
+
+	if cfg.DataDir == "" {
+		s.ready.Store(true)
+		return s, nil
+	}
+	store, err := OpenStore(cfg.DataDir)
+	if err != nil {
+		return nil, err
+	}
+	s.store = store
+	s.jobs.onPurge = func(ids []string) {
+		for _, id := range ids {
+			store.DeleteJob(id)
+		}
+	}
+	restart, err := s.recoverJobs()
+	if err != nil {
+		return nil, err
+	}
+	go s.finishRecovery(restart)
+	return s, nil
 }
 
-// Handler returns the server's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the server's HTTP handler: the endpoint mux behind the
+// panic-recovery middleware, so a handler panic answers 500 and bumps a
+// counter instead of killing the connection opaquely.
+func (s *Server) Handler() http.Handler { return s.withRecovery(s.mux) }
+
+// withRecovery is the handler-chain recovery layer.  It also hosts the
+// handler-panic failpoint, so fault injection exercises exactly this path.
+func (s *Server) withRecovery(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler { // deliberate abort, not a fault
+				panic(rec)
+			}
+			s.metrics.PanicsRecovered.Add(1)
+			// Best effort: if the handler already streamed a partial body the
+			// status line is gone, but the connection still ends.
+			httpError(w, http.StatusInternalServerError, fmt.Sprintf("internal panic: %v", rec))
+		}()
+		if fault.Fire(fault.HandlerPanic) {
+			panic("fault: injected handler panic")
+		}
+		next.ServeHTTP(w, r)
+	})
+}
 
 // Metrics exposes the server's counters (for embedding, e.g. expvar).
 func (s *Server) Metrics() *Metrics { return s.metrics }
@@ -197,6 +282,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/jobs/{id}/evict", s.handleEvictJob)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.metrics.ServePrometheus)
 }
 
@@ -289,7 +375,162 @@ func (s *Server) systemFor(digest string, spec *dynmon.Spec) (*dynmon.System, er
 	return sys, nil
 }
 
-// newJobID mints a process-unique job id.
+// newJobID mints a job id unique across the store's whole lifetime: the
+// sequence high-water mark is persisted, so restarts never reuse an id.
 func (s *Server) newJobID() string {
-	return fmt.Sprintf("j%06d", s.jobs.nextSeq())
+	seq := s.jobs.nextSeq()
+	if s.store != nil {
+		s.store.SaveNextSeq(seq + 1)
+	}
+	return fmt.Sprintf("j%06d", seq)
+}
+
+// observeRunDuration feeds the service-time EWMA behind the Retry-After
+// estimate (α = 1/8; a heuristic, so the racy read-modify-write is fine).
+func (s *Server) observeRunDuration(d time.Duration) {
+	old := s.avgRunNanos.Load()
+	if old == 0 {
+		s.avgRunNanos.Store(int64(d))
+		return
+	}
+	s.avgRunNanos.Store(old + (int64(d)-old)/8)
+}
+
+// retryAfterSeconds estimates when a shed client should retry: the current
+// queue drained at the observed service rate, clamped to [1s, 60s].  Before
+// any run has completed the estimate is the 1s floor.
+func (s *Server) retryAfterSeconds() string {
+	secs := 1
+	if avg := s.avgRunNanos.Load(); avg > 0 {
+		est := time.Duration((s.queued.Load() + 1) * avg / int64(s.cfg.Workers))
+		secs = int((est + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		if secs > 60 {
+			secs = 60
+		}
+	}
+	return strconv.Itoa(secs)
+}
+
+// recoverJobs registers every persisted job synchronously (ids resolve the
+// moment New returns) and reports which ones need restarting.  Per-job
+// damage — truncated checkpoint, garbage metadata — fails that job and is
+// surfaced on its status; it never stops the server from booting.
+func (s *Server) recoverJobs() ([]*job, error) {
+	persisted, nextSeq, err := s.store.Load()
+	if err != nil {
+		return nil, err
+	}
+	s.jobs.setSeq(nextSeq)
+	var restart []*job
+	for _, pj := range persisted {
+		j, needsRestart := s.rebuildJob(pj)
+		s.jobs.put(j)
+		s.metrics.JobsRecovered.Add(1)
+		if needsRestart {
+			restart = append(restart, j)
+		}
+	}
+	return restart, nil
+}
+
+// rebuildJob turns one persisted entry back into a live job.  The System is
+// not built here — recovery must stay cheap and damage-tolerant; the runner
+// builds it on the job's first restarted segment.
+func (s *Server) rebuildJob(pj persistedJob) (*job, bool) {
+	j := &job{
+		id:       pj.id,
+		digest:   pj.meta.Digest,
+		detached: pj.meta.Detached,
+		round:    pj.meta.Round,
+		subs:     make(map[*jobSub]struct{}),
+	}
+	fail := func(err error) (*job, bool) {
+		j.state = jobFailed
+		j.errMsg = err.Error()
+		j.finishedAt = time.Now()
+		s.metrics.JobsRecoveryFailed.Add(1)
+		s.persistJob(j)
+		return j, false
+	}
+	if pj.err != nil {
+		return fail(pj.err)
+	}
+	fs, err := dynmon.ParseFileSpec(pj.spec)
+	if err != nil {
+		return fail(fmt.Errorf("persisted spec corrupted: %w", err))
+	}
+	j.fs = fs
+	if pj.checkpoint != nil {
+		cp, err := dynmon.ParseCheckpoint(pj.checkpoint)
+		if err != nil {
+			return fail(fmt.Errorf("persisted checkpoint corrupted: %w", err))
+		}
+		j.cp = cp
+		if cp.Round > j.round {
+			j.round = cp.Round
+		}
+	}
+	switch pj.meta.State {
+	case jobDone:
+		j.state = jobDone
+		j.resultJSON = pj.result
+		j.finishedAt = finishedAtOf(pj.meta)
+		// Warm the result cache: equal digests still imply byte-identical
+		// Results, so the persisted bytes are exactly servable.
+		s.results.Put(j.digest, &cachedResult{json: pj.result, kernel: kernelOf(pj.result)})
+		return j, false
+	case jobFailed, jobCanceled:
+		j.state = pj.meta.State
+		j.errMsg = pj.meta.Error
+		j.finishedAt = finishedAtOf(pj.meta)
+		return j, false
+	case jobEvicted:
+		// Parked at shutdown (or crash between segments): stays parked; the
+		// next attach resumes it from its checkpoint.
+		j.state = jobEvicted
+		return j, false
+	case jobQueued, jobRunning:
+		// Interrupted mid-run by the crash: park it on whatever checkpoint
+		// survived (none means restart from round 0 — still exact, the run
+		// is a pure function of its spec) and restart it.
+		j.state = jobEvicted
+		return j, true
+	default:
+		return fail(fmt.Errorf("persisted state %q unknown", pj.meta.State))
+	}
+}
+
+// finishRecovery restarts the jobs the crash interrupted, then flips the
+// server ready.  A restart refused by admission (pool already saturated)
+// leaves the job parked — any later attach resumes it, nothing is lost.
+func (s *Server) finishRecovery(restart []*job) {
+	fault.Fire(fault.RecoverySlow)
+	for _, j := range restart {
+		s.startJob(j)
+	}
+	s.ready.Store(true)
+}
+
+// finishedAtOf recovers a terminal job's finish time, defaulting to "now"
+// (restarting the retention clock) when the persisted stamp is missing.
+func finishedAtOf(m jobMeta) time.Time {
+	if m.FinishedAtNanos > 0 {
+		return time.Unix(0, m.FinishedAtNanos)
+	}
+	return time.Now()
+}
+
+// kernelOf extracts the kernel tier name from terminal Result bytes, for
+// the per-kernel metrics of cache hits served from a recovered store.
+func kernelOf(resJSON []byte) string {
+	var probe struct {
+		Kernel string `json:"kernel"`
+	}
+	if err := json.Unmarshal(resJSON, &probe); err != nil {
+		return "unknown"
+	}
+	return probe.Kernel
 }

@@ -1,0 +1,245 @@
+// Package fault is a tiny failpoint registry for exercising dynserve's
+// failure paths: worker panics, checkpoint-write I/O errors, slow durable
+// writes, dropped stream connections.  It exists for tests and chaos drills
+// only — nothing arms a failpoint in production paths; cmd/dynmond arms them
+// from the -failpoints flag / DYNMOND_FAILPOINTS env var and logs loudly
+// when it does.
+//
+// A failpoint is a named site in the code that calls Fire(name).  Disarmed
+// (the default), Fire is a single atomic load returning false.  Armed, the
+// point counts evaluations and decides per its mode spec:
+//
+//	name=always      fire on every evaluation
+//	name=once        fire on the 1st evaluation only
+//	name=once:N      fire on the Nth evaluation only
+//	name=after:N     fire on every evaluation after the Nth
+//	name=every:N     fire on every Nth evaluation
+//	name=sleep:DUR   sleep DUR on every evaluation (the delay is the fault;
+//	                 Fire still returns false)
+//
+// Counting is deterministic: the Nth evaluation of a point is the Nth call
+// to Fire for that name, so tests can target e.g. exactly the third
+// checkpoint write.
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Failpoint names used by dynserve.  Arm accepts any name — sites and specs
+// are matched by string — but these are the sites that exist.
+const (
+	// WorkerPanic panics the job runner loop at a round boundary: the
+	// injected panic must fail only that job, never the process.
+	WorkerPanic = "worker-panic"
+	// HandlerPanic panics inside the HTTP handler chain before routing.
+	HandlerPanic = "handler-panic"
+	// CheckpointWriteError fails a durable checkpoint write with an I/O
+	// error: the affected job must fail cleanly, the server stays up.
+	CheckpointWriteError = "checkpoint-write-error"
+	// CheckpointSlow stalls durable checkpoint writes (mode sleep:DUR) —
+	// both a slow-disk simulation and the time dilation the CI chaos step
+	// uses to make kill -9 land mid-run deterministically.
+	CheckpointSlow = "checkpoint-slow"
+	// StreamDrop fails the next stream event write, as a dropped client
+	// connection would: inline runs stop, detached jobs must keep running.
+	StreamDrop = "stream-drop"
+	// RecoverySlow stalls startup job recovery (mode sleep:DUR), holding
+	// /readyz at 503 long enough for tests to observe it.
+	RecoverySlow = "recovery-slow"
+)
+
+type mode int
+
+const (
+	modeAlways mode = iota
+	modeOnce        // fire on evaluation n exactly
+	modeAfter       // fire on every evaluation > n
+	modeEvery       // fire on every n-th evaluation
+	modeSleep       // sleep d on every evaluation, never "fire"
+)
+
+type point struct {
+	mode  mode
+	n     int64
+	d     time.Duration
+	evals atomic.Int64
+	fired atomic.Int64
+}
+
+var (
+	armed      atomic.Int32 // number of armed points: the disarmed fast path
+	mu         sync.Mutex
+	points     = map[string]*point{}
+	firedTotal atomic.Int64
+)
+
+// Enabled reports whether any failpoint is armed.
+func Enabled() bool { return armed.Load() > 0 }
+
+// Arm registers (or replaces) one failpoint with a mode spec like "always",
+// "once", "once:3", "after:5", "every:2" or "sleep:250ms".
+func Arm(name, spec string) error {
+	p, err := parseMode(spec)
+	if err != nil {
+		return fmt.Errorf("fault: %s=%s: %w", name, spec, err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if _, exists := points[name]; !exists {
+		armed.Add(1)
+	}
+	points[name] = p
+	return nil
+}
+
+// ArmAll arms a comma-separated list of name=spec pairs, the
+// DYNMOND_FAILPOINTS / -failpoints grammar.
+func ArmAll(specs string) error {
+	for _, kv := range strings.Split(specs, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		name, spec, ok := strings.Cut(kv, "=")
+		if !ok {
+			return fmt.Errorf("fault: %q is not name=spec", kv)
+		}
+		if err := Arm(strings.TrimSpace(name), strings.TrimSpace(spec)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Disarm removes one failpoint.
+func Disarm(name string) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, exists := points[name]; exists {
+		delete(points, name)
+		armed.Add(-1)
+	}
+}
+
+// Reset disarms every failpoint and zeroes the fired counter.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	armed.Add(-int32(len(points)))
+	points = map[string]*point{}
+	firedTotal.Store(0)
+}
+
+// Active returns the armed failpoint names, sorted.
+func Active() []string {
+	mu.Lock()
+	defer mu.Unlock()
+	names := make([]string, 0, len(points))
+	for name := range points {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Fire evaluates one failpoint site.  It returns true when the site should
+// inject its fault (panic, error, drop — the site decides the kind).  For
+// sleep-mode points it performs the delay itself and returns false.
+func Fire(name string) bool {
+	if armed.Load() == 0 {
+		return false
+	}
+	mu.Lock()
+	p := points[name]
+	mu.Unlock()
+	if p == nil {
+		return false
+	}
+	n := p.evals.Add(1)
+	switch p.mode {
+	case modeAlways:
+	case modeOnce:
+		if n != p.n {
+			return false
+		}
+	case modeAfter:
+		if n <= p.n {
+			return false
+		}
+	case modeEvery:
+		if n%p.n != 0 {
+			return false
+		}
+	case modeSleep:
+		p.fired.Add(1)
+		firedTotal.Add(1)
+		time.Sleep(p.d)
+		return false
+	}
+	p.fired.Add(1)
+	firedTotal.Add(1)
+	return true
+}
+
+// FiredTotal returns how many times any failpoint fired since the last
+// Reset (sleep delays included) — the /metrics faults_injected counter.
+func FiredTotal() int64 { return firedTotal.Load() }
+
+// Fired returns how many times one failpoint fired.
+func Fired(name string) int64 {
+	mu.Lock()
+	p := points[name]
+	mu.Unlock()
+	if p == nil {
+		return 0
+	}
+	return p.fired.Load()
+}
+
+func parseMode(spec string) (*point, error) {
+	kind, arg, hasArg := strings.Cut(spec, ":")
+	p := &point{}
+	switch kind {
+	case "always":
+		p.mode = modeAlways
+	case "once":
+		p.mode, p.n = modeOnce, 1
+	case "after":
+		p.mode = modeAfter
+	case "every":
+		p.mode, p.n = modeEvery, 1
+	case "sleep":
+		p.mode = modeSleep
+		if !hasArg {
+			return nil, fmt.Errorf("sleep needs a duration")
+		}
+		d, err := time.ParseDuration(arg)
+		if err != nil || d < 0 {
+			return nil, fmt.Errorf("bad duration %q", arg)
+		}
+		p.d = d
+		return p, nil
+	default:
+		return nil, fmt.Errorf("unknown mode %q", kind)
+	}
+	if hasArg {
+		n, err := strconv.ParseInt(arg, 10, 64)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad count %q", arg)
+		}
+		p.n = n
+	} else if p.mode == modeAfter {
+		return nil, fmt.Errorf("after needs a count")
+	}
+	if p.mode == modeEvery && p.n < 1 {
+		return nil, fmt.Errorf("every needs a count >= 1")
+	}
+	return p, nil
+}

@@ -1,0 +1,122 @@
+package fault
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func reset(t *testing.T) {
+	t.Helper()
+	Reset()
+	t.Cleanup(Reset)
+}
+
+func TestDisarmedFastPath(t *testing.T) {
+	reset(t)
+	if Enabled() {
+		t.Fatal("no failpoint armed, Enabled() = true")
+	}
+	if Fire("anything") {
+		t.Fatal("disarmed Fire returned true")
+	}
+	if FiredTotal() != 0 {
+		t.Fatalf("FiredTotal = %d, want 0", FiredTotal())
+	}
+}
+
+// TestModes pins the deterministic counting semantics of every mode: tests
+// rely on "the Nth evaluation" meaning exactly the Nth Fire call.
+func TestModes(t *testing.T) {
+	cases := []struct {
+		spec string
+		want []bool // Fire outcomes for evaluations 1..len
+	}{
+		{"always", []bool{true, true, true, true}},
+		{"once", []bool{true, false, false, false}},
+		{"once:3", []bool{false, false, true, false}},
+		{"after:2", []bool{false, false, true, true}},
+		{"every:2", []bool{false, true, false, true}},
+	}
+	for _, tc := range cases {
+		reset(t)
+		if err := Arm("p", tc.spec); err != nil {
+			t.Fatalf("Arm(%q): %v", tc.spec, err)
+		}
+		for i, want := range tc.want {
+			if got := Fire("p"); got != want {
+				t.Errorf("spec %q evaluation %d: Fire = %v, want %v", tc.spec, i+1, got, want)
+			}
+		}
+	}
+}
+
+func TestSleepModeDelaysWithoutFiring(t *testing.T) {
+	reset(t)
+	if err := Arm("slow", "sleep:30ms"); err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Now()
+	if Fire("slow") {
+		t.Fatal("sleep-mode point returned true")
+	}
+	if d := time.Since(t0); d < 25*time.Millisecond {
+		t.Fatalf("sleep-mode point only delayed %v", d)
+	}
+	if Fired("slow") != 1 || FiredTotal() != 1 {
+		t.Fatalf("sleep fire counts: point=%d total=%d, want 1/1", Fired("slow"), FiredTotal())
+	}
+}
+
+func TestArmAllAndActive(t *testing.T) {
+	reset(t)
+	if err := ArmAll(" a=once:2 , b=sleep:1ms ,"); err != nil {
+		t.Fatal(err)
+	}
+	got := Active()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Active = %v", got)
+	}
+	Disarm("a")
+	if got := Active(); len(got) != 1 || got[0] != "b" {
+		t.Fatalf("after Disarm Active = %v", got)
+	}
+	Disarm("b")
+	if Enabled() {
+		t.Fatal("still enabled after disarming everything")
+	}
+}
+
+func TestBadSpecs(t *testing.T) {
+	reset(t)
+	for _, spec := range []string{"", "bogus", "once:0", "after", "every:-1", "sleep", "sleep:xyz", "sleep:-1s"} {
+		if err := Arm("p", spec); err == nil {
+			t.Errorf("Arm(%q) accepted a bad spec", spec)
+		}
+	}
+	if err := ArmAll("no-equals-sign"); err == nil {
+		t.Error("ArmAll accepted a pair without =")
+	}
+}
+
+// TestConcurrentFire exercises the registry under the race detector.
+func TestConcurrentFire(t *testing.T) {
+	reset(t)
+	if err := Arm("p", "every:7"); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 700; i++ {
+				Fire("p")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := Fired("p"); got != 800 {
+		t.Fatalf("Fired = %d, want 800 (5600 evaluations / every:7)", got)
+	}
+}

@@ -1,0 +1,177 @@
+package dynserve
+
+import (
+	"bufio"
+	"bytes"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/dynserve/fault"
+)
+
+func armFailpoint(t *testing.T, name, spec string) {
+	t.Helper()
+	fault.Reset()
+	t.Cleanup(fault.Reset)
+	if err := fault.Arm(name, spec); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func waitTerminal(t *testing.T, srv *Server, id string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		cur := jobStatus(t, srv, id)
+		if jobTerminal(cur.State) {
+			return cur
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never settled: %+v", cur)
+		}
+		runtime.Gosched()
+	}
+}
+
+// TestFaultWorkerPanicFailsOnlyThatJob pins fault isolation: an injected
+// panic inside the run loop settles that one job as failed, returns the
+// worker slot, bumps the recovery counter — and the process keeps serving.
+func TestFaultWorkerPanicFailsOnlyThatJob(t *testing.T) {
+	armFailpoint(t, fault.WorkerPanic, "once")
+	srv, ts := newTestServer(t, Config{Workers: 1})
+
+	st := submitJob(t, ts.URL, longSpec(t))
+	cur := waitTerminal(t, srv, st.ID)
+	if cur.State != jobFailed {
+		t.Fatalf("job state %q, want failed", cur.State)
+	}
+	if !strings.Contains(cur.Error, "panicked") {
+		t.Fatalf("job error %q does not name the panic", cur.Error)
+	}
+	if n := srv.metrics.PanicsRecovered.Load(); n != 1 {
+		t.Fatalf("PanicsRecovered = %d, want 1", n)
+	}
+
+	// The slot came back: with Workers=1, a follow-up inline run can only
+	// complete if the panicked segment released its worker.
+	resp := postRun(t, ts.URL, goldenSpec(t, "mesh-9x9-minimum.json"), "application/json")
+	if readAll(t, resp); resp.StatusCode != http.StatusOK {
+		t.Fatalf("run after worker panic: status %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestFaultCheckpointWriteErrorFailsJob pins the durable-write failure path:
+// a checkpoint that cannot be persisted fails the job through the engine's
+// sink-error propagation, with the cadence round named in the error.
+func TestFaultCheckpointWriteErrorFailsJob(t *testing.T) {
+	armFailpoint(t, fault.CheckpointWriteError, "once")
+	srv, ts := newTestServer(t, Config{Workers: 1, CheckpointEvery: 5, DataDir: t.TempDir()})
+	waitReady(t, srv)
+
+	st := submitJob(t, ts.URL, longSpec(t))
+	cur := waitTerminal(t, srv, st.ID)
+	if cur.State != jobFailed {
+		t.Fatalf("job state %q, want failed", cur.State)
+	}
+	if !strings.Contains(cur.Error, "checkpoint cadence at round") {
+		t.Fatalf("job error %q does not carry the cadence context", cur.Error)
+	}
+	if n := srv.metrics.CheckpointWriteErrors.Load(); n != 1 {
+		t.Fatalf("CheckpointWriteErrors = %d, want 1", n)
+	}
+	// One failed write, then the store works again (the failpoint was
+	// once-only): a fresh job completes with durable checkpoints.
+	resp := postRun(t, ts.URL, goldenSpec(t, "mesh-9x9-minimum.json"), "application/json")
+	if readAll(t, resp); resp.StatusCode != http.StatusOK {
+		t.Fatalf("run after checkpoint write error: status %d", resp.StatusCode)
+	}
+}
+
+// TestFaultHandlerPanic pins the middleware: an injected handler panic
+// answers 500 on that request, and the very next request succeeds.
+func TestFaultHandlerPanic(t *testing.T) {
+	armFailpoint(t, fault.HandlerPanic, "once")
+	srv, ts := newTestServer(t, Config{Workers: 1})
+
+	resp, err := http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicked request status %d, want 500", resp.StatusCode)
+	}
+	if !bytes.Contains(body, []byte("internal panic")) {
+		t.Fatalf("500 body %q does not say internal panic", body)
+	}
+	if n := srv.metrics.PanicsRecovered.Load(); n != 1 {
+		t.Fatalf("PanicsRecovered = %d, want 1", n)
+	}
+	resp, err = http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if readAll(t, resp); resp.StatusCode != http.StatusOK {
+		t.Fatalf("request after recovered panic: status %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestFaultStreamDropAbandonsInlineRun pins inline-stream semantics: a
+// dropped connection mid-stream stops the run (no detached owner exists to
+// keep it alive), so the response ends without a terminal result event.
+func TestFaultStreamDropAbandonsInlineRun(t *testing.T) {
+	armFailpoint(t, fault.StreamDrop, "after:3")
+	srv, ts := newTestServer(t, Config{Workers: 1})
+
+	resp := postRun(t, ts.URL, goldenSpec(t, "ws-300-random.json"), "")
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var lines int
+	for sc.Scan() {
+		lines++
+		if bytes.Contains(sc.Bytes(), []byte(`"event":"result"`)) {
+			t.Fatal("dropped stream still delivered a terminal result")
+		}
+	}
+	if lines == 0 {
+		t.Fatal("stream dropped before any event; want a truncation mid-stream")
+	}
+	if n := srv.metrics.RunsFailed.Load(); n != 1 {
+		t.Fatalf("RunsFailed = %d, want 1 (abandoned inline run)", n)
+	}
+}
+
+// TestFaultStreamDropDetachedJobSurvives is the counterpart: a detached
+// job's watcher losing its connection is the watcher's problem — the job
+// runs on to its terminal Result.
+func TestFaultStreamDropDetachedJobSurvives(t *testing.T) {
+	armFailpoint(t, fault.StreamDrop, "after:2")
+	spec := longSpec(t)
+	want := offlineResult(t, spec)
+	srv, ts := newTestServer(t, Config{Workers: 1})
+
+	st := submitJob(t, ts.URL, spec)
+	// Attach a streaming watcher; the failpoint severs it mid-stream.
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readAll(t, resp) // drain the truncated stream to its early end
+
+	cur := waitTerminal(t, srv, st.ID)
+	if cur.State != jobDone {
+		t.Fatalf("job state %q after watcher drop, want done (error: %s)", cur.State, cur.Error)
+	}
+	fault.Reset() // disarm before fetching the result over a fresh stream
+	code, got := attachBuffered(t, ts.URL, st.ID)
+	if code != http.StatusOK {
+		t.Fatalf("result fetch status %d", code)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("job result after dropped watcher differs from offline run")
+	}
+}

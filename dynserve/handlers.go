@@ -9,6 +9,7 @@ import (
 	"iter"
 	"net/http"
 	"strings"
+	"time"
 
 	"repro/dynmon"
 )
@@ -190,6 +191,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 
 	s.metrics.RunsStarted.Add(1)
+	started := time.Now()
 	var seq = sys.Steps(ctx, initial, dynmon.WithRunSpec(fsRun(fs)))
 	if cp != nil {
 		// Resume re-applies the checkpoint's own run spec; a checkpoint
@@ -199,10 +201,10 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if acceptsBufferedJSON(r) {
-		s.runBuffered(w, seq, fs != nil, digest)
+		s.runBuffered(w, seq, fs != nil, digest, started)
 		return
 	}
-	s.runStreaming(w, r, seq, fs != nil, digest)
+	s.runStreaming(w, r, seq, fs != nil, digest, started)
 }
 
 // fsRun returns the spec's run section (zero for checkpoint submissions,
@@ -223,11 +225,14 @@ func (s *Server) runContext(parent context.Context) (context.Context, context.Ca
 }
 
 // admissionError maps admission failures to statuses: 429 when shed, 503
-// while draining.
+// while draining.  The Retry-After on a shed reflects actual queue
+// pressure — the estimated time to drain the current queue at the observed
+// service rate — so backed-off clients return when capacity plausibly
+// exists instead of hammering a fixed 1s cadence.
 func (s *Server) admissionError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, errShed):
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryAfterSeconds())
 		httpError(w, http.StatusTooManyRequests, "queue full, request shed")
 	case errors.Is(err, errDraining):
 		httpError(w, http.StatusServiceUnavailable, "server is draining")
@@ -238,7 +243,7 @@ func (s *Server) admissionError(w http.ResponseWriter, err error) {
 
 // runBuffered drains the stream and answers with the terminal Result's
 // exact JSON bytes — the mode CI diffs against the offline CLI.
-func (s *Server) runBuffered(w http.ResponseWriter, seq stepSeq, cacheable bool, digest string) {
+func (s *Server) runBuffered(w http.ResponseWriter, seq stepSeq, cacheable bool, digest string, started time.Time) {
 	var resJSON []byte
 	for st, err := range seq {
 		if err != nil {
@@ -260,14 +265,15 @@ func (s *Server) runBuffered(w http.ResponseWriter, seq stepSeq, cacheable bool,
 		httpError(w, http.StatusInternalServerError, "run ended without a terminal result")
 		return
 	}
+	s.observeRunDuration(time.Since(started))
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(append(resJSON, '\n'))
 }
 
 // runStreaming follows the stream over NDJSON or SSE.  Any error after the
 // first event becomes a terminal error event (headers are long gone).
-func (s *Server) runStreaming(w http.ResponseWriter, r *http.Request, seq stepSeq, cacheable bool, digest string) {
-	out := writerFor(w, r)
+func (s *Server) runStreaming(w http.ResponseWriter, r *http.Request, seq stepSeq, cacheable bool, digest string, started time.Time) {
+	out := s.streamWriter(w, r)
 	for st, err := range seq {
 		if err != nil {
 			s.metrics.RunsFailed.Add(1)
@@ -281,6 +287,7 @@ func (s *Server) runStreaming(w http.ResponseWriter, r *http.Request, seq stepSe
 				out.event(streamEvent{kind: eventError, err: merr.Error()})
 				return
 			}
+			s.observeRunDuration(time.Since(started))
 			out.event(resultEvent(resJSON, false))
 			return
 		}
@@ -356,7 +363,7 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	}
 	if v, ok := s.results.Get(digest); ok {
 		s.metrics.CacheHits.Add(1)
-		j.completeFromCache(v.(*cachedResult).json)
+		s.completeFromCache(j, v.(*cachedResult).json)
 		writeJSON(w, http.StatusAccepted, j.status())
 		return
 	}
@@ -388,7 +395,7 @@ func (s *Server) handleAttachJob(w http.ResponseWriter, r *http.Request) {
 	buffered := acceptsBufferedJSON(r)
 	var out eventWriter
 	if !buffered {
-		out = writerFor(w, r)
+		out = s.streamWriter(w, r)
 		st := j.status()
 		out.event(streamEvent{kind: eventJob, status: &st})
 	}
@@ -514,12 +521,27 @@ func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j.status())
 }
 
-// handleHealthz is GET /healthz: 200 while serving, 503 while draining.
+// handleHealthz is GET /healthz: pure liveness.  It answers 200 as long as
+// the process serves requests — draining included, because a draining
+// server is alive and must not be restarted by its supervisor mid-drain.
+// Routing decisions belong to /readyz.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	if s.draining.Load() {
-		httpError(w, http.StatusServiceUnavailable, "draining")
-		return
-	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	w.Write([]byte("ok\n"))
+}
+
+// handleReadyz is GET /readyz: readiness for load balancers.  503 while
+// startup recovery is still restarting persisted jobs and from the moment
+// SIGTERM drain begins — so balancers stop routing before the drain starts
+// refusing submissions — 200 otherwise.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	switch {
+	case s.draining.Load():
+		httpError(w, http.StatusServiceUnavailable, "draining")
+	case !s.ready.Load():
+		httpError(w, http.StatusServiceUnavailable, "recovering persisted jobs")
+	default:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ready\n"))
+	}
 }

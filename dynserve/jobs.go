@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/dynmon"
+	"repro/dynserve/fault"
 )
 
 // Job lifecycle states.
@@ -108,15 +109,54 @@ func (j *job) closeSubs() {
 	}
 }
 
-// storeCheckpoint is the job's durability sink for the cadence
-// (dynmon.CheckpointEvery): it retains the newest checkpoint, the state an
-// eviction or crash recovery resumes from.
-func (j *job) storeCheckpoint(cp *dynmon.Checkpoint) error {
+// checkpointSink is the job's durability sink for the cadence
+// (dynmon.CheckpointEvery): persist first (when a store is configured),
+// then retain in memory — so the status a client polls never reports a
+// checkpoint round the disk doesn't have.  A persist failure propagates
+// through the stream and fails this job only.
+func (s *Server) checkpointSink(j *job) func(*dynmon.Checkpoint) error {
+	return func(cp *dynmon.Checkpoint) error {
+		if s.store != nil {
+			if err := s.store.SaveCheckpoint(j.id, cp); err != nil {
+				s.metrics.CheckpointWriteErrors.Add(1)
+				return err
+			}
+			s.metrics.CheckpointsPersisted.Add(1)
+		}
+		j.mu.Lock()
+		j.cp = cp
+		j.mu.Unlock()
+		j.broadcast(streamEvent{kind: eventCheckpoint, round: cp.Round})
+		return nil
+	}
+}
+
+// persistJob snapshots a job's meta state to the store.  Transitions are
+// already serialized per job (one runner segment at a time; cancellation of
+// a parked job cannot race a runner), so last-writer-wins atomic replace is
+// sound.
+func (s *Server) persistJob(j *job) {
+	if s.store == nil {
+		return
+	}
 	j.mu.Lock()
-	j.cp = cp
+	m := jobMeta{
+		ID:              j.id,
+		Digest:          j.digest,
+		State:           j.state,
+		Detached:        j.detached,
+		Round:           j.round,
+		CheckpointRound: -1,
+		Error:           j.errMsg,
+	}
+	if j.cp != nil {
+		m.CheckpointRound = j.cp.Round
+	}
+	if !j.finishedAt.IsZero() {
+		m.FinishedAtNanos = j.finishedAt.UnixNano()
+	}
 	j.mu.Unlock()
-	j.broadcast(streamEvent{kind: eventCheckpoint, round: cp.Round})
-	return nil
+	s.store.SaveMeta(m)
 }
 
 // JobStatus is the wire form of a job's state.
@@ -162,6 +202,10 @@ type jobTable struct {
 	retention time.Duration
 	seq       atomic.Int64
 
+	// onPurge, when set, is called outside the table lock with the ids of
+	// purged jobs — the store hook that deletes their directories.
+	onPurge func(ids []string)
+
 	mu   sync.Mutex
 	byID map[string]*job
 }
@@ -172,11 +216,29 @@ func newJobTable(retention time.Duration) *jobTable {
 
 func (t *jobTable) nextSeq() int64 { return t.seq.Add(1) }
 
+// setSeq advances the sequence to at least n (store recovery: never reuse a
+// persisted id).
+func (t *jobTable) setSeq(n int64) {
+	for {
+		cur := t.seq.Load()
+		if cur >= n-1 || t.seq.CompareAndSwap(cur, n-1) {
+			return
+		}
+	}
+}
+
 func (t *jobTable) put(j *job) {
 	t.mu.Lock()
 	t.byID[j.id] = j
-	t.purgeLocked()
+	purged := t.purgeLocked()
 	t.mu.Unlock()
+	t.notifyPurge(purged)
+}
+
+func (t *jobTable) notifyPurge(ids []string) {
+	if t.onPurge != nil && len(ids) > 0 {
+		t.onPurge(ids)
+	}
 }
 
 func (t *jobTable) get(id string) (*job, bool) {
@@ -201,12 +263,13 @@ func (t *jobTable) Len() int {
 // list returns every job's status, sorted by id, purging expired ones.
 func (t *jobTable) list() []JobStatus {
 	t.mu.Lock()
-	t.purgeLocked()
+	purged := t.purgeLocked()
 	jobs := make([]*job, 0, len(t.byID))
 	for _, j := range t.byID {
 		jobs = append(jobs, j)
 	}
 	t.mu.Unlock()
+	t.notifyPurge(purged)
 	sort.Slice(jobs, func(i, k int) bool { return jobs[i].id < jobs[k].id })
 	out := make([]JobStatus, len(jobs))
 	for i, j := range jobs {
@@ -215,17 +278,21 @@ func (t *jobTable) list() []JobStatus {
 	return out
 }
 
-// purgeLocked drops terminal jobs past the retention window.
-func (t *jobTable) purgeLocked() {
+// purgeLocked drops terminal jobs past the retention window, returning the
+// purged ids for the onPurge store hook.
+func (t *jobTable) purgeLocked() []string {
 	cutoff := time.Now().Add(-t.retention)
+	var purged []string
 	for id, j := range t.byID {
 		j.mu.Lock()
 		expired := jobTerminal(j.state) && !j.finishedAt.IsZero() && j.finishedAt.Before(cutoff)
 		j.mu.Unlock()
 		if expired {
 			delete(t.byID, id)
+			purged = append(purged, id)
 		}
 	}
+	return purged
 }
 
 // evictAll asks every live job to park at its next round boundary — the
@@ -262,7 +329,9 @@ func (t *jobTable) evictOneIdle() {
 }
 
 // newJob registers a job for a parsed spec.  The system and initial
-// construction are built once here; the runner only steps.
+// construction are built once here; the runner only steps.  With a store
+// configured, the spec and initial state land on disk before the job is
+// visible — from its first moment the job survives a crash.
 func (s *Server) newJob(fs *dynmon.FileSpec, digest string, detached bool) (*job, error) {
 	sys, initial, err := s.buildRun(fs)
 	if err != nil {
@@ -278,18 +347,28 @@ func (s *Server) newJob(fs *dynmon.FileSpec, digest string, detached bool) (*job
 		state:    jobEvicted, // parked with no checkpoint = not yet started
 		subs:     make(map[*jobSub]struct{}),
 	}
+	if s.store != nil {
+		if err := s.store.SaveSpec(j.id, fs); err != nil {
+			return nil, fmt.Errorf("dynserve: persisting job spec: %w", err)
+		}
+		s.persistJob(j)
+	}
 	s.jobs.put(j)
 	return j, nil
 }
 
 // completeFromCache settles a just-created job with a cached terminal
 // result, without ever occupying a worker.
-func (j *job) completeFromCache(resJSON []byte) {
+func (s *Server) completeFromCache(j *job, resJSON []byte) {
 	j.mu.Lock()
 	j.state = jobDone
 	j.resultJSON = resJSON
 	j.finishedAt = time.Now()
 	j.mu.Unlock()
+	if s.store != nil {
+		s.store.SaveResult(j.id, resJSON)
+		s.persistJob(j)
+	}
 }
 
 // startJob admits the job (shed/drain decisions happen here, synchronously)
@@ -321,6 +400,7 @@ func (s *Server) startJob(j *job) error {
 	if resumed {
 		s.metrics.JobsResumed.Add(1)
 	}
+	s.persistJob(j)
 	s.running.Add(1)
 	go func() {
 		defer s.running.Done()
@@ -331,8 +411,18 @@ func (s *Server) startJob(j *job) error {
 
 // runJob executes one segment of a job: claim a worker slot, stream rounds
 // from the initial configuration (or the parked checkpoint), broadcast them,
-// and settle as done, failed, canceled or evicted.
+// and settle as done, failed, canceled or evicted.  A panic anywhere in the
+// segment — the engine, a rule kernel, the fault-injected worker-panic
+// failpoint — fails this job only: the deferred recover settles it as
+// failed, the deferred release returns the slot, the process stays up.
 func (s *Server) runJob(j *job, wait func(context.Context) (func(), error)) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.metrics.PanicsRecovered.Add(1)
+			s.settleErr(j, fmt.Errorf("dynserve: job runner panicked: %v", rec))
+		}
+	}()
+
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	if s.cfg.RunTimeout > 0 {
 		ctx, cancel = context.WithTimeout(s.baseCtx, s.cfg.RunTimeout)
@@ -342,6 +432,7 @@ func (s *Server) runJob(j *job, wait func(context.Context) (func(), error)) {
 	j.mu.Lock()
 	j.cancel = cancel
 	cp := j.cp
+	sys, initial := j.sys, j.initial
 	j.mu.Unlock()
 
 	release, err := wait(ctx)
@@ -350,6 +441,19 @@ func (s *Server) runJob(j *job, wait func(context.Context) (func(), error)) {
 		return
 	}
 	defer release()
+
+	if sys == nil {
+		// Recovered job: the system was deliberately not rebuilt at boot
+		// (recovery stays cheap and damage-tolerant); build it now, on the
+		// worker's own time.
+		if sys, initial, err = s.buildRun(j.fs); err != nil {
+			s.settleErr(j, err)
+			return
+		}
+		j.mu.Lock()
+		j.sys, j.initial = sys, initial
+		j.mu.Unlock()
+	}
 
 	if j.evict.Load() {
 		// Evicted while waiting for a slot: park again without stepping
@@ -361,17 +465,19 @@ func (s *Server) runJob(j *job, wait func(context.Context) (func(), error)) {
 	j.mu.Lock()
 	j.state = jobRunning
 	j.mu.Unlock()
+	s.persistJob(j)
 	s.metrics.RunsStarted.Add(1)
+	segStart := time.Now()
 
 	opts := []dynmon.RunOption{dynmon.WithRunSpec(j.fs.Run)}
 	if s.cfg.CheckpointEvery > 0 {
-		opts = append(opts, dynmon.CheckpointEvery(s.cfg.CheckpointEvery, j.storeCheckpoint))
+		opts = append(opts, dynmon.CheckpointEvery(s.cfg.CheckpointEvery, s.checkpointSink(j)))
 	}
 	var seq iter.Seq2[*dynmon.Step, error]
 	if cp != nil {
-		seq = j.sys.ResumeSteps(ctx, cp, opts...)
+		seq = sys.ResumeSteps(ctx, cp, opts...)
 	} else {
-		seq = j.sys.Steps(ctx, j.initial, opts...)
+		seq = sys.Steps(ctx, initial, opts...)
 	}
 
 	for st, err := range seq {
@@ -379,12 +485,16 @@ func (s *Server) runJob(j *job, wait func(context.Context) (func(), error)) {
 			s.settleErr(j, err)
 			return
 		}
+		if fault.Fire(fault.WorkerPanic) {
+			panic("fault: injected worker panic")
+		}
 		s.metrics.Steps.Add(1)
 		j.mu.Lock()
 		j.round = st.Round()
 		j.mu.Unlock()
 		j.broadcast(streamEvent{kind: eventStep, round: st.Round(), changed: st.Changed()})
 		if st.Done() {
+			s.observeRunDuration(time.Since(segStart))
 			s.settleDone(j, st.Result())
 			return
 		}
@@ -397,9 +507,6 @@ func (s *Server) runJob(j *job, wait func(context.Context) (func(), error)) {
 				s.settleErr(j, cerr)
 				return
 			}
-			j.mu.Lock()
-			j.cp = cp
-			j.mu.Unlock()
 			s.park(j, cp)
 			return
 		}
@@ -407,13 +514,24 @@ func (s *Server) runJob(j *job, wait func(context.Context) (func(), error)) {
 	s.settleErr(j, errors.New("dynserve: run ended without a terminal result"))
 }
 
-// park settles a segment as evicted.
+// park settles a segment as evicted.  The eviction checkpoint is persisted
+// before the job is declared parked; a durable-write failure here fails the
+// job rather than silently parking it on state the disk doesn't have.
 func (s *Server) park(j *job, cp *dynmon.Checkpoint) {
+	if s.store != nil && cp != nil {
+		if err := s.store.SaveCheckpoint(j.id, cp); err != nil {
+			s.metrics.CheckpointWriteErrors.Add(1)
+			s.settleErr(j, fmt.Errorf("dynserve: persisting eviction checkpoint: %w", err))
+			return
+		}
+		s.metrics.CheckpointsPersisted.Add(1)
+	}
 	j.mu.Lock()
 	j.state = jobEvicted
 	j.cp = cp
 	j.cancel = nil
 	j.mu.Unlock()
+	s.persistJob(j)
 	s.metrics.JobsEvicted.Add(1)
 	j.closeSubs()
 }
@@ -434,6 +552,10 @@ func (s *Server) settleDone(j *job, res *dynmon.Result) {
 	j.cancel = nil
 	j.finishedAt = time.Now()
 	j.mu.Unlock()
+	if s.store != nil {
+		s.store.SaveResult(j.id, b)
+		s.persistJob(j)
+	}
 	s.metrics.RunsCompleted.Add(1)
 	s.metrics.CountKernel(kernel)
 	s.results.Put(j.digest, &cachedResult{json: b, kernel: kernel})
@@ -452,6 +574,7 @@ func (s *Server) settleErr(j *job, err error) {
 	j.cancel = nil
 	j.finishedAt = time.Now()
 	j.mu.Unlock()
+	s.persistJob(j)
 	s.metrics.RunsFailed.Add(1)
 	j.closeSubs()
 }
@@ -469,6 +592,7 @@ func (s *Server) cancelJob(j *job) {
 		j.errMsg = context.Canceled.Error()
 		j.finishedAt = time.Now()
 		j.mu.Unlock()
+		s.persistJob(j)
 		j.closeSubs()
 		return
 	}

@@ -11,9 +11,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -30,10 +32,24 @@ type Options struct {
 	Total int
 	// Concurrency is the number of in-flight clients (default 64).
 	Concurrency int
-	// Timeout bounds each request (default 30s).
+	// Timeout bounds each submission including all its retries (default
+	// 30s); the deadline propagates to every attempt's request context.
 	Timeout time.Duration
 	// Client overrides the HTTP client (tests inject an in-process one).
 	Client *http.Client
+	// Retries is the number of retry attempts after a 429 or 503 before
+	// the response counts against the report (default 0: each status is
+	// final, preserving the pure load-shedding measurement).
+	Retries int
+	// RetryBackoff is the base backoff before the first retry; successive
+	// retries double it, each jittered to 50-150% so synchronized clients
+	// desynchronize (default 100ms).  The server's Retry-After hint, when
+	// larger, takes precedence over the computed backoff.
+	RetryBackoff time.Duration
+	// RetryBackoffMax caps the exponential backoff (default 5s).
+	RetryBackoffMax time.Duration
+	// Seed makes the retry jitter reproducible (default 1).
+	Seed int64
 }
 
 // Report is the outcome of a load run.
@@ -42,6 +58,7 @@ type Report struct {
 	OK          int           `json:"ok"`
 	Shed        int           `json:"shed"` // 429s: intentional load shedding
 	Errors      int           `json:"errors"`
+	Retries     int           `json:"retries"` // retry attempts across all submissions
 	Elapsed     time.Duration `json:"elapsed_ns"`
 	Throughput  float64       `json:"throughput_rps"` // completed (OK) per second
 	P50         time.Duration `json:"p50_ns"`
@@ -72,6 +89,15 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 	if opts.Timeout <= 0 {
 		opts.Timeout = 30 * time.Second
 	}
+	if opts.RetryBackoff <= 0 {
+		opts.RetryBackoff = 100 * time.Millisecond
+	}
+	if opts.RetryBackoffMax <= 0 {
+		opts.RetryBackoffMax = 5 * time.Second
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
 	client := opts.Client
 	if client == nil {
 		client = &http.Client{Timeout: opts.Timeout}
@@ -81,6 +107,7 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 		next      atomic.Int64
 		ok, shed  atomic.Int64
 		errs      atomic.Int64
+		retries   atomic.Int64
 		latMu     sync.Mutex
 		latencies = make([]time.Duration, 0, opts.Total)
 	)
@@ -88,8 +115,11 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 	var wg sync.WaitGroup
 	for w := 0; w < opts.Concurrency; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
+			// Per-worker jitter source: deterministic under Seed, no
+			// cross-worker lock contention on the hot path.
+			rng := rand.New(rand.NewSource(opts.Seed + int64(worker)))
 			for {
 				i := next.Add(1) - 1
 				if i >= int64(opts.Total) || ctx.Err() != nil {
@@ -97,7 +127,7 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 				}
 				spec := opts.Specs[i%int64(len(opts.Specs))]
 				t0 := time.Now()
-				status, err := submit(ctx, client, opts.URL, spec)
+				status, err := submitWithRetry(ctx, client, opts, rng, spec, &retries)
 				lat := time.Since(t0)
 				switch {
 				case err != nil:
@@ -113,7 +143,7 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 					errs.Add(1)
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
@@ -123,6 +153,7 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 		OK:          int(ok.Load()),
 		Shed:        int(shed.Load()),
 		Errors:      int(errs.Load()),
+		Retries:     int(retries.Load()),
 		Elapsed:     elapsed,
 		Concurrency: opts.Concurrency,
 	}
@@ -139,23 +170,74 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 	return rep, nil
 }
 
+// submitWithRetry runs one submission's full attempt chain.  The whole
+// chain — every attempt and every backoff sleep — shares one deadline of
+// opts.Timeout, propagated through the request context, so a retrying
+// client can never hold a slot longer than a non-retrying one would.
+// Retryable statuses are 429 (shed) and 503 (draining/unready); the wait
+// before each retry is the larger of the jittered exponential backoff and
+// the server's Retry-After hint.
+func submitWithRetry(ctx context.Context, client *http.Client, opts Options, rng *rand.Rand, spec []byte, retryCount *atomic.Int64) (int, error) {
+	ctx, cancel := context.WithTimeout(ctx, opts.Timeout)
+	defer cancel()
+	var status int
+	var retryAfter string
+	var err error
+	for attempt := 0; ; attempt++ {
+		status, retryAfter, err = submit(ctx, client, opts.URL, spec)
+		if err != nil || attempt >= opts.Retries || !retryable(status) {
+			return status, err
+		}
+		wait := backoffWait(opts, rng, attempt, retryAfter)
+		select {
+		case <-ctx.Done():
+			// Out of deadline: the last status stands as the outcome.
+			return status, nil
+		case <-time.After(wait):
+		}
+		retryCount.Add(1)
+	}
+}
+
+func retryable(status int) bool {
+	return status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
+}
+
+// backoffWait computes the pre-retry wait: base<<attempt capped at the max,
+// jittered to [50%,150%), then raised to the server's Retry-After hint if
+// that is larger — the server's pressure estimate beats the client's guess.
+func backoffWait(opts Options, rng *rand.Rand, attempt int, retryAfter string) time.Duration {
+	backoff := opts.RetryBackoff << attempt
+	if backoff > opts.RetryBackoffMax || backoff <= 0 {
+		backoff = opts.RetryBackoffMax
+	}
+	wait := time.Duration((0.5 + rng.Float64()) * float64(backoff))
+	if secs, err := strconv.Atoi(retryAfter); err == nil {
+		if hint := time.Duration(secs) * time.Second; hint > wait {
+			wait = hint
+		}
+	}
+	return wait
+}
+
 // submit POSTs one spec in buffered mode and drains the response.
-func submit(ctx context.Context, client *http.Client, base string, spec []byte) (int, error) {
+func submit(ctx context.Context, client *http.Client, base string, spec []byte) (int, string, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/runs", bytes.NewReader(spec))
 	if err != nil {
-		return 0, err
+		return 0, "", err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set("Accept", "application/json")
 	resp, err := client.Do(req)
 	if err != nil {
-		return 0, err
+		return 0, "", err
 	}
 	defer resp.Body.Close()
+	retryAfter := resp.Header.Get("Retry-After")
 	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
-		return resp.StatusCode, err
+		return resp.StatusCode, retryAfter, err
 	}
-	return resp.StatusCode, nil
+	return resp.StatusCode, retryAfter, nil
 }
 
 func percentile(sorted []time.Duration, q float64) time.Duration {

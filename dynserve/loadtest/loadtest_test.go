@@ -1,0 +1,49 @@
+package loadtest
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestBackoffWait pins the wait computation: exponential growth under the
+// cap, jitter bounded to [50%, 150%), and the server's Retry-After hint
+// winning only when it exceeds the computed backoff.
+func TestBackoffWait(t *testing.T) {
+	opts := Options{RetryBackoff: 100 * time.Millisecond, RetryBackoffMax: 800 * time.Millisecond}
+	rng := rand.New(rand.NewSource(1))
+
+	for attempt, base := range []time.Duration{
+		100 * time.Millisecond, // 0: base
+		200 * time.Millisecond, // 1: doubled
+		400 * time.Millisecond, // 2
+		800 * time.Millisecond, // 3: at the cap
+		800 * time.Millisecond, // 4: still capped
+	} {
+		for i := 0; i < 100; i++ {
+			w := backoffWait(opts, rng, attempt, "")
+			if w < base/2 || w >= base+base/2 {
+				t.Fatalf("attempt %d: wait %v outside [%v, %v)", attempt, w, base/2, base+base/2)
+			}
+		}
+	}
+
+	// A huge attempt must not overflow past the cap.
+	if w := backoffWait(opts, rng, 62, ""); w >= 1200*time.Millisecond {
+		t.Fatalf("overflowed attempt waits %v, want capped", w)
+	}
+
+	// Retry-After above the backoff wins; below it, the backoff stands.
+	if w := backoffWait(opts, rng, 0, "2"); w != 2*time.Second {
+		t.Fatalf("Retry-After 2s ignored: wait %v", w)
+	}
+	for i := 0; i < 100; i++ {
+		if w := backoffWait(opts, rng, 3, "0"); w < 400*time.Millisecond {
+			t.Fatalf("Retry-After 0 dragged the wait down to %v", w)
+		}
+	}
+	// Garbage hints are ignored.
+	if w := backoffWait(opts, rng, 0, "soon"); w >= 150*time.Millisecond {
+		t.Fatalf("unparseable Retry-After changed the wait: %v", w)
+	}
+}

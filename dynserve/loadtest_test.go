@@ -61,6 +61,36 @@ func TestLoadThousandsOfSubmissions(t *testing.T) {
 	}
 }
 
+// TestLoadRetriesDrainShedBacklog pins client resilience: the same cold
+// burst that sheds under -retries 0 completes fully when shed responses are
+// retried with backoff — the Retry-After hint plus the result cache turn
+// every 429 into an eventual 200, with zero errors.
+func TestLoadRetriesDrainShedBacklog(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+
+	rep, err := loadtest.Run(context.Background(), loadtest.Options{
+		URL:          ts.URL,
+		Specs:        [][]byte{longSpec(t)},
+		Total:        16,
+		Concurrency:  16,
+		Timeout:      120 * time.Second,
+		Retries:      10,
+		RetryBackoff: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d requests failed: %+v", rep.Errors, rep)
+	}
+	if rep.OK != rep.Total {
+		t.Fatalf("ok=%d shed=%d with retries enabled, want every one of %d to complete", rep.OK, rep.Shed, rep.Total)
+	}
+	if rep.Retries == 0 {
+		t.Fatalf("retries=0: the burst never hit admission control, test proves nothing: %+v", rep)
+	}
+}
+
 // TestLoadShedsWithTooManyRequests pins admission control: a cold burst of
 // identical slow specs against one worker and a tiny queue must shed with
 // 429 rather than queue without bound — and still complete some runs.

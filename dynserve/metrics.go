@@ -27,11 +27,20 @@ type Metrics struct {
 	JobsEvicted    atomic.Int64 // jobs checkpointed and parked to free a worker
 	JobsResumed    atomic.Int64 // evicted jobs resumed from their checkpoint
 
+	// Durability and fault-tolerance counters.
+	PanicsRecovered       atomic.Int64 // panics caught by handler/worker recovery
+	CheckpointsPersisted  atomic.Int64 // checkpoints durably written to the store
+	CheckpointWriteErrors atomic.Int64 // checkpoint writes that failed (I/O or injected)
+	JobsRecovered         atomic.Int64 // jobs re-registered from the store at startup
+	JobsRecoveryFailed    atomic.Int64 // persisted jobs too damaged to recover
+
 	// Gauges, wired by the server.
 	QueueDepth   func() int64
 	InFlight     func() int64
 	CacheEntries func() int64
 	JobsLive     func() int64
+	Ready        func() int64 // 1 once startup recovery finished
+	FaultsFired  func() int64 // injected failpoint firings (0 unless armed)
 
 	// Per-kernel run counts ("frontier", "sweep", ...), keyed by the tier
 	// the terminal Result reports.
@@ -47,6 +56,8 @@ func NewMetrics() *Metrics {
 		InFlight:     zero,
 		CacheEntries: zero,
 		JobsLive:     zero,
+		Ready:        zero,
+		FaultsFired:  zero,
 		kernelRuns:   make(map[string]int64),
 	}
 }
@@ -107,6 +118,14 @@ func (m *Metrics) Snapshot() map[string]any {
 		"jobs_live":             m.JobsLive(),
 		"queue_depth":           m.QueueDepth(),
 		"inflight_runs":         m.InFlight(),
+
+		"panics_recovered_total":        m.PanicsRecovered.Load(),
+		"checkpoints_persisted_total":   m.CheckpointsPersisted.Load(),
+		"checkpoint_write_errors_total": m.CheckpointWriteErrors.Load(),
+		"jobs_recovered_total":          m.JobsRecovered.Load(),
+		"jobs_recovery_failed_total":    m.JobsRecoveryFailed.Load(),
+		"faults_injected_total":         m.FaultsFired(),
+		"ready":                         m.Ready(),
 	}
 	for _, kc := range m.kernelCounts() {
 		out["runs_kernel_"+kc.Kernel+"_total"] = kc.Runs
@@ -135,6 +154,13 @@ func (m *Metrics) ServePrometheus(w http.ResponseWriter, _ *http.Request) {
 	counter("cache_evictions_total", "Result cache LRU evictions.", m.CacheEvictions.Load())
 	counter("jobs_evicted_total", "Jobs checkpointed and parked to free a worker.", m.JobsEvicted.Load())
 	counter("jobs_resumed_total", "Evicted jobs resumed from their checkpoint.", m.JobsResumed.Load())
+	counter("panics_recovered_total", "Panics caught by handler/worker recovery.", m.PanicsRecovered.Load())
+	counter("checkpoints_persisted_total", "Checkpoints durably written to the job store.", m.CheckpointsPersisted.Load())
+	counter("checkpoint_write_errors_total", "Checkpoint writes that failed (I/O or injected fault).", m.CheckpointWriteErrors.Load())
+	counter("jobs_recovered_total", "Jobs re-registered from the store at startup.", m.JobsRecovered.Load())
+	counter("jobs_recovery_failed_total", "Persisted jobs too damaged to recover.", m.JobsRecoveryFailed.Load())
+	counter("faults_injected_total", "Injected failpoint firings (0 unless armed).", m.FaultsFired())
+	gauge("ready", "1 once startup recovery finished and submissions are served.", m.Ready())
 	gauge("cache_hit_rate", "Result cache hit rate since start.", fmt.Sprintf("%.6f", m.CacheHitRate()))
 	gauge("cache_entries", "Live result cache entries.", m.CacheEntries())
 	gauge("queue_depth", "Submissions waiting for a worker slot.", m.QueueDepth())

@@ -50,7 +50,10 @@ func offlineResult(t *testing.T, specJSON []byte) []byte {
 
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	srv := New(cfg)
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
 	return srv, ts
@@ -258,27 +261,38 @@ func TestRunCheckpointSubmission(t *testing.T) {
 	}
 }
 
-// TestHealthzAndDrain pins the ops contract: healthy while serving, 503
-// from /healthz and for new submissions while draining.
+// TestHealthzAndDrain pins the ops contract: /healthz is pure liveness and
+// stays 200 through a drain (the process is alive and draining by design);
+// /readyz flips to 503 so load balancers stop routing, and new submissions
+// are refused with 503.
 func TestHealthzAndDrain(t *testing.T) {
 	srv, ts := newTestServer(t, Config{Workers: 1})
-	resp, err := http.Get(ts.URL + "/healthz")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if readAll(t, resp); resp.StatusCode != http.StatusOK {
-		t.Fatalf("healthz %d, want 200", resp.StatusCode)
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if readAll(t, resp); resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s %d, want 200", path, resp.StatusCode)
+		}
 	}
 
 	if err := srv.Drain(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	resp, err = http.Get(ts.URL + "/healthz")
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if readAll(t, resp); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz while draining %d, want 200 (liveness must not kill a draining pod)", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/readyz")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if readAll(t, resp); resp.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("healthz while draining %d, want 503", resp.StatusCode)
+		t.Fatalf("readyz while draining %d, want 503", resp.StatusCode)
 	}
 	resp = postRun(t, ts.URL, goldenSpec(t, "mesh-9x9-minimum.json"), "application/json")
 	if readAll(t, resp); resp.StatusCode != http.StatusServiceUnavailable {

@@ -2,8 +2,11 @@ package dynserve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+
+	"repro/dynserve/fault"
 )
 
 // Stream event kinds.  A run stream is a sequence of "step" events ending
@@ -155,4 +158,33 @@ func writerFor(w http.ResponseWriter, r *http.Request) eventWriter {
 		return newSSEWriter(w)
 	}
 	return newNDJSONWriter(w)
+}
+
+// streamWriter is writerFor plus the stream-drop failpoint: when armed, the
+// returned writer severs the connection mid-stream — the event fails exactly
+// as it would if the client's TCP connection had dropped, so tests can prove
+// that a detached job survives its watcher vanishing while an inline run is
+// correctly abandoned.
+func (s *Server) streamWriter(w http.ResponseWriter, r *http.Request) eventWriter {
+	out := writerFor(w, r)
+	if !fault.Enabled() {
+		return out
+	}
+	return &faultyWriter{inner: out}
+}
+
+// faultyWriter injects a connection drop when the stream-drop failpoint
+// fires.  Once dropped, every later event fails too — a real peer does not
+// come back.
+type faultyWriter struct {
+	inner   eventWriter
+	dropped bool
+}
+
+func (fw *faultyWriter) event(ev streamEvent) error {
+	if fw.dropped || fault.Fire(fault.StreamDrop) {
+		fw.dropped = true
+		return errors.New("fault: injected stream drop")
+	}
+	return fw.inner.event(ev)
 }
