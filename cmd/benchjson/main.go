@@ -198,6 +198,29 @@ func Compare(baseline, current *File, match *regexp.Regexp, thresholdPct float64
 	return matched, regressions
 }
 
+// CheckZeroAlloc verifies that every benchmark in the file whose name
+// matches the pattern reports zero bytes and zero allocations per
+// operation.  Like CheckSpeedup it is hardware-independent: steady-state
+// allocation behavior is a property of the code, not the runner, so the
+// gate pins it exactly instead of within a tolerance.  At least one
+// benchmark must match, otherwise a renamed benchmark would silently
+// disarm the gate.
+func CheckZeroAlloc(f *File, match *regexp.Regexp) (matched []string, violations []string) {
+	for _, b := range f.Benchmarks {
+		if !match.MatchString(b.Name) {
+			continue
+		}
+		matched = append(matched, b.Name)
+		if b.BytesPerOp != 0 || b.AllocsPerOp != 0 {
+			violations = append(violations,
+				fmt.Sprintf("%s: %.0f B/op, %.0f allocs/op (want 0/0)", b.Name, b.BytesPerOp, b.AllocsPerOp))
+		}
+	}
+	sort.Strings(matched)
+	sort.Strings(violations)
+	return matched, violations
+}
+
 // CheckSpeedup verifies a within-file ratio: the benchmark named fast must
 // be at least minRatio times faster (lower min ns/op) than the one named
 // slow.  Because both numbers come from the same run on the same machine,
@@ -253,8 +276,40 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	speedupFast := fs.String("speedup-fast", "", "benchmark that must be faster (speedup mode, with -speedup-slow on -current)")
 	speedupSlow := fs.String("speedup-slow", "", "benchmark that must be slower (speedup mode)")
 	speedupMin := fs.Float64("speedup-min", 3, "minimum required slow/fast ns/op ratio (speedup mode)")
+	zeroAlloc := fs.String("zero-alloc", "", "regexp selecting current benchmarks that must report 0 B/op and 0 allocs/op (zero-alloc mode, with -current)")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *zeroAlloc != "" {
+		if *currentPath == "" {
+			fmt.Fprintln(stderr, "benchjson: zero-alloc mode needs -current")
+			return 2
+		}
+		match, err := regexp.Compile(*zeroAlloc)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchjson: bad -zero-alloc: %v\n", err)
+			return 2
+		}
+		current, err := readFile(*currentPath)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		matched, violations := CheckZeroAlloc(current, match)
+		if len(matched) == 0 {
+			fmt.Fprintf(stderr, "benchjson: no benchmarks match -zero-alloc %q\n", *zeroAlloc)
+			return 2
+		}
+		for _, v := range violations {
+			fmt.Fprintf(stdout, "FAIL %s\n", v)
+		}
+		if len(violations) > 0 {
+			fmt.Fprintf(stdout, "%d of %d gated benchmarks allocate in steady state\n", len(violations), len(matched))
+			return 1
+		}
+		fmt.Fprintf(stdout, "all %d gated benchmarks are allocation-free\n", len(matched))
+		return 0
 	}
 
 	if *speedupFast != "" || *speedupSlow != "" {

@@ -134,6 +134,29 @@ func TestCheckSpeedup(t *testing.T) {
 	}
 }
 
+func TestCheckZeroAlloc(t *testing.T) {
+	f := &File{Schema: schema, Benchmarks: []Benchmark{
+		{Name: "BenchmarkEngineStepParallel/128x128-workers2", Runs: 1, NsPerOp: 100},
+		{Name: "BenchmarkEngineStepParallel/128x128-workers4", Runs: 1, NsPerOp: 100, BytesPerOp: 1413, AllocsPerOp: 2},
+		{Name: "BenchmarkUnrelated", Runs: 1, NsPerOp: 100, BytesPerOp: 64, AllocsPerOp: 1},
+	}}
+
+	matched, violations := CheckZeroAlloc(f, regexp.MustCompile("^BenchmarkEngineStepParallel"))
+	if len(matched) != 2 {
+		t.Fatalf("matched %v, want the 2 parallel benchmarks", matched)
+	}
+	if len(violations) != 1 || !strings.Contains(violations[0], "workers4") {
+		t.Fatalf("violations = %v, want the allocating workers4 entry only", violations)
+	}
+
+	// All-clean selection passes; allocating benchmarks outside the match
+	// are not gated.
+	_, violations = CheckZeroAlloc(f, regexp.MustCompile("workers2$"))
+	if len(violations) != 0 {
+		t.Fatalf("unexpected violations: %v", violations)
+	}
+}
+
 // TestRunEndToEnd drives the CLI through parse and compare modes in a
 // temporary directory.
 func TestRunEndToEnd(t *testing.T) {
@@ -165,5 +188,20 @@ func TestRunEndToEnd(t *testing.T) {
 		"-speedup-slow", "BenchmarkEngineStepSequential/32x32",
 		"-speedup-min", "100000"}, strings.NewReader(""), &out, &errOut); code != 1 {
 		t.Fatalf("unreachable speedup floor exited %d, want 1", code)
+	}
+	// Zero-alloc mode: the frontier benchmark is clean, the sequential one
+	// has an 8 B/op run in the sample, and an empty selection is a
+	// configuration error.
+	if code := run([]string{"-current", dir + "/base.json",
+		"-zero-alloc", "^BenchmarkEngineStepNearConvergence"}, strings.NewReader(""), &out, &errOut); code != 0 {
+		t.Fatalf("clean zero-alloc gate exited %d: %s%s", code, out.String(), errOut.String())
+	}
+	if code := run([]string{"-current", dir + "/base.json",
+		"-zero-alloc", "^BenchmarkEngineStepSequential"}, strings.NewReader(""), &out, &errOut); code != 1 {
+		t.Fatalf("allocating zero-alloc gate exited %d, want 1", code)
+	}
+	if code := run([]string{"-current", dir + "/base.json",
+		"-zero-alloc", "^BenchmarkNoSuch"}, strings.NewReader(""), &out, &errOut); code != 2 {
+		t.Fatalf("empty zero-alloc match exited %d, want 2", code)
 	}
 }

@@ -143,7 +143,8 @@ type RunSpec struct {
 	// RecordHistory keeps a copy of the configuration after every round.
 	RecordHistory bool `json:"record_history,omitempty"`
 	// Kernel forces a stepping tier by name ("bitplane", "frontier",
-	// "sweep", "parallel"); empty or "auto" keeps the automatic selection.
+	// "sweep", "parallel", "sharded"); empty or "auto" keeps the automatic
+	// selection.
 	Kernel string `json:"kernel,omitempty"`
 	// Parallel enables the striped parallel stepper with Workers goroutines
 	// (0 = GOMAXPROCS).
@@ -384,6 +385,12 @@ const (
 	KernelSweep = sim.KernelSweep
 	// KernelParallel forces the striped parallel sweep.
 	KernelParallel = sim.KernelParallel
+	// KernelSharded forces the domain-decomposed stepper: the substrate is
+	// cut into per-worker shards (row-band slabs on the tori) stepped from
+	// shard-local buffers with a per-round halo exchange.  Auto-selection
+	// picks it for parallel runs on large substrates; Result.Workers
+	// reports the shard count actually used.
+	KernelSharded = sim.KernelSharded
 )
 
 // ErrBitplaneIneligible is the error (wrapped) returned by runs that force

@@ -1,0 +1,178 @@
+package grid
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+)
+
+// checkShards differentially verifies a shard set against its parent index:
+// exact ownership cover, exact halo sets, consistent owner/local pointers,
+// and local rows that decode back to the global rows verbatim.
+func checkShards(t *testing.T, c *CSR, shards []*CSRShard) {
+	t.Helper()
+	n := c.N()
+	owner := make([]int, n)
+	for i := range owner {
+		owner[i] = -1
+	}
+	for si, s := range shards {
+		if s.Owned() <= 0 {
+			t.Fatalf("shard %d owns empty range [%d,%d)", si, s.Lo, s.Hi)
+		}
+		for v := s.Lo; v < s.Hi; v++ {
+			if owner[v] != -1 {
+				t.Fatalf("vertex %d owned by shards %d and %d", v, owner[v], si)
+			}
+			owner[v] = si
+		}
+	}
+	for v, o := range owner {
+		if o == -1 {
+			t.Fatalf("vertex %d owned by no shard", v)
+		}
+	}
+	for si, s := range shards {
+		// The halo must be exactly the distinct cross-shard neighbor set,
+		// ascending.
+		want := map[int32]bool{}
+		for v := s.Lo; v < s.Hi; v++ {
+			for _, u := range c.Neighbors[c.Off[v]:c.Off[v+1]] {
+				if int(u) < s.Lo || int(u) >= s.Hi {
+					want[u] = true
+				}
+			}
+		}
+		if len(s.Halo) != len(want) {
+			t.Fatalf("shard %d halo has %d entries, want %d", si, len(s.Halo), len(want))
+		}
+		if !sort.SliceIsSorted(s.Halo, func(i, j int) bool { return s.Halo[i] < s.Halo[j] }) {
+			t.Fatalf("shard %d halo not ascending: %v", si, s.Halo)
+		}
+		for i, u := range s.Halo {
+			if !want[u] {
+				t.Fatalf("shard %d halo[%d]=%d is not a cross-shard neighbor", si, i, u)
+			}
+			if i > 0 && s.Halo[i-1] == u {
+				t.Fatalf("shard %d halo has duplicate ghost %d", si, u)
+			}
+			o := int(s.HaloOwner[i])
+			if o < 0 || o >= len(shards) || o == si {
+				t.Fatalf("shard %d ghost %d has owner %d", si, u, o)
+			}
+			os := shards[o]
+			if g := os.Lo + int(s.HaloLocal[i]); g != int(u) {
+				t.Fatalf("shard %d ghost %d resolves to global %d via owner %d", si, u, g, o)
+			}
+		}
+		// Local rows must decode to the global rows, in order.
+		if got, wantOff := int(s.Off[s.Owned()]), int(c.Off[s.Hi]-c.Off[s.Lo]); got != wantOff {
+			t.Fatalf("shard %d frames %d entries, want %d", si, got, wantOff)
+		}
+		owned := s.Owned()
+		for v := 0; v < owned; v++ {
+			lrow := s.Adj[s.Off[v]:s.Off[v+1]]
+			grow := c.Neighbors[c.Off[s.Lo+v]:c.Off[s.Lo+v+1]]
+			if len(lrow) != len(grow) {
+				t.Fatalf("shard %d local row %d has %d entries, want %d", si, v, len(lrow), len(grow))
+			}
+			for i, lu := range lrow {
+				var global int
+				if int(lu) < owned {
+					global = s.Lo + int(lu)
+				} else {
+					global = int(s.Halo[int(lu)-owned])
+				}
+				if global != int(grow[i]) {
+					t.Fatalf("shard %d row %d entry %d decodes to %d, want %d", si, v, i, global, grow[i])
+				}
+			}
+		}
+		if s.Uniform() != c.Uniform() {
+			t.Fatalf("shard %d uniform=%d, want %d", si, s.Uniform(), c.Uniform())
+		}
+	}
+}
+
+func TestShardsCoverAllTopologies(t *testing.T) {
+	sizes := []struct{ rows, cols int }{
+		{2, 5}, {2, 2}, {3, 67}, {5, 4}, {8, 8}, {16, 3},
+	}
+	for _, kind := range Kinds() {
+		for _, sz := range sizes {
+			topo, err := New(kind, sz.rows, sz.cols)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := CSROf(topo)
+			for _, k := range []int{1, 2, 3, 4, 7, 64} {
+				name := fmt.Sprintf("%s/%dx%d/k%d", topo.Name(), sz.rows, sz.cols, k)
+				t.Run(name, func(t *testing.T) {
+					shards := c.Shards(k, sz.cols)
+					if len(shards) > k || len(shards) > sz.rows {
+						t.Fatalf("got %d shards for k=%d over %d rows", len(shards), k, sz.rows)
+					}
+					for _, s := range shards {
+						if s.Lo%sz.cols != 0 || (s.Hi%sz.cols != 0 && s.Hi != c.N()) {
+							t.Fatalf("shard [%d,%d) not row-aligned for cols=%d", s.Lo, s.Hi, sz.cols)
+						}
+					}
+					checkShards(t, c, shards)
+				})
+			}
+		}
+	}
+}
+
+// TestShardsGeneralGraph exercises align=1 on an irregular graph, including
+// a shard request far beyond the vertex count.
+func TestShardsGeneralGraph(t *testing.T) {
+	adj := [][]int{
+		{1, 2, 3, 4, 5}, // heavy hub
+		{0}, {0}, {0, 4}, {3, 0}, {0},
+		{7}, {6},
+	}
+	c := BuildCSRAdj(adj)
+	for _, k := range []int{1, 2, 3, 8, 100} {
+		t.Run(fmt.Sprintf("k%d", k), func(t *testing.T) {
+			shards := c.Shards(k, 1)
+			if len(shards) > len(adj) {
+				t.Fatalf("more shards (%d) than vertices (%d)", len(shards), len(adj))
+			}
+			if k >= len(adj) && len(shards) != len(adj) {
+				t.Fatalf("k=%d should give one shard per vertex, got %d", k, len(shards))
+			}
+			checkShards(t, c, shards)
+		})
+	}
+}
+
+// TestPartitionDegreeBalance pins that the degree-balanced cuts do not
+// collapse: on a uniform torus every shard of an even split owns the same
+// number of rows.
+func TestPartitionDegreeBalance(t *testing.T) {
+	topo, err := New(KindToroidalMesh, 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := CSROf(topo)
+	ranges := c.Partition(4, 16)
+	if len(ranges) != 4 {
+		t.Fatalf("got %d ranges, want 4", len(ranges))
+	}
+	for i, r := range ranges {
+		if r.Hi-r.Lo != 2*16 {
+			t.Fatalf("range %d = [%d,%d), want 2 rows each", i, r.Lo, r.Hi)
+		}
+	}
+}
+
+func TestPartitionEmpty(t *testing.T) {
+	c := BuildCSRAdj(nil)
+	if got := c.Partition(4, 1); got != nil {
+		t.Fatalf("empty index partitioned into %v", got)
+	}
+	if got := c.Shards(4, 1); len(got) != 0 {
+		t.Fatalf("empty index sharded into %d shards", len(got))
+	}
+}

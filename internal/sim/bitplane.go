@@ -204,41 +204,73 @@ func (bp *Bitplane) DetectCycles(on bool) {
 // DetectCycles(true) was called at least two rounds earlier.
 func (bp *Bitplane) Cycle() bool { return bp.cycle }
 
+// bitplaneSlabWords is the cache block of the bit-sliced step: neighbor
+// shifts and the kernel are fused per slab of this many plane words, so a
+// slab's shifted Nbr words are consumed by the kernel while still resident
+// in cache instead of being streamed out and re-read a full plane later.
+// A slab touches ~12 streams of 8 bytes per word (two Cur planes read by
+// shifts and kernel, eight Nbr written then read, two Next written), so
+// 8192 words is a ~768 KB block working set.
+//
+// The value was picked by BenchmarkBitplaneSlabWords (measurements in the
+// README performance note): on planes that fit cache outright (≤ 256×256)
+// block size is neutral, and on 1024×1024 the 8192-word slab matches
+// full-plane passes while L2-sized blocks (512–2048 words) LOSE up to
+// ~15% — the plane streams are perfectly sequential, so the hardware
+// prefetchers already hide the memory latency and smaller blocks only add
+// per-slab border-patch rescans and shorter streams.  The constant keeps
+// the fused form (one pass structure for the sequential and striped paths,
+// and a bound on the block working set on future huge lattices) at the
+// measured-neutral size rather than chasing a blocking win this workload
+// does not have.
+const bitplaneSlabWords = 8192
+
 // Step applies one synchronous round to all planes and returns the number
 // of vertices that changed color.
 func (bp *Bitplane) Step() int {
-	bp.shiftPlanes()
-	bp.kern.StepWords(&bp.st, 0, bp.words)
+	bp.stepSlabs(0, bp.words, bitplaneSlabWords)
 	return bp.finishStep()
 }
 
-// stepStriped is Step with the kernel striped across the shared worker pool
-// (the neighbor shifts stay on the calling goroutine: they are a small
-// fraction of the word work).
+// stepStriped is Step with the fused slabs striped across the shared worker
+// pool.  Each task owns a contiguous word range and runs shift+kernel slab
+// by slab within it; tasks share only read-only state (the Cur planes,
+// stable for the whole round, and the shift plan), so no intra-round
+// barrier is needed.
 func (bp *Bitplane) stepStriped(st *runState, workers int) int {
-	bp.shiftPlanes()
 	if workers > bp.words {
 		workers = bp.words
 	}
 	if workers <= 1 {
-		bp.kern.StepWords(&bp.st, 0, bp.words)
-		return bp.finishStep()
+		return bp.Step()
 	}
 	st.stripeAcross(bp.words, workers, func(t *stripeTask, lo, hi int) {
-		*t = stripeTask{run: runBitKernelTask, wg: &st.wg, bst: &bp.st, kern: bp.kern, lo: lo, hi: hi}
+		*t = stripeTask{run: runBitSlabTask, wg: &st.wg, bp: bp, lo: lo, hi: hi}
 	})
 	return bp.finishStep()
 }
 
-// shiftPlanes rebuilds the four per-port shifted plane sets from the current
-// configuration planes.
-func (bp *Bitplane) shiftPlanes() {
+// stepSlabs steps the word range [lo, hi) in fused cache blocks of at most
+// slab words each: all per-port neighbor shifts for the block, then the
+// kernel over the block.
+func (bp *Bitplane) stepSlabs(lo, hi, slab int) {
+	for w := lo; w < hi; w += slab {
+		bp.stepSlab(w, min(w+slab, hi))
+	}
+}
+
+// stepSlab computes one fused block: the per-port shifted plane words in
+// [wlo, whi), then the kernel over the same range.  The kernel is a pure
+// wordwise map (Next[w] is a function of Cur and Nbr words at w only), so
+// producing Nbr slab-locally is exact.
+func (bp *Bitplane) stepSlab(wlo, whi int) {
 	for p := 0; p < rules.BitPorts; p++ {
 		port := &bp.plan.Ports[p]
 		for b := 0; b < bp.planes; b++ {
-			shiftPlane(bp.st.Nbr[p][b], bp.st.Cur[b], port, bp.nbits, bp.tailMask)
+			shiftPlaneRange(bp.st.Nbr[p][b], bp.st.Cur[b], port, bp.nbits, bp.tailMask, wlo, whi)
 		}
 	}
+	bp.kern.StepWords(&bp.st, wlo, whi)
 }
 
 // finishStep masks the kernel output, maintains cycle tracking and the diff
@@ -364,25 +396,32 @@ func (bp *Bitplane) lastChanges(fn func(v int32, old color.Color)) {
 	}
 }
 
-// shiftPlane gathers one plane through one neighbor port: a bit rotation by
-// the port's base shift, then the port's border patches.
-func shiftPlane(dst, src []uint64, port *grid.ShiftPort, nbits int, tailMask uint64) {
-	rotateBits(dst, src, nbits, port.Shift, tailMask)
+// shiftPlaneRange gathers one plane through one neighbor port for the dst
+// words in [wlo, whi): the bit rotation by the port's base shift restricted
+// to the range, then the port's border patches that land inside it.  The
+// patch lists are O(rows+cols) and scanned per slab; against the O(words)
+// word work of the slab pass the rescans are noise.
+func shiftPlaneRange(dst, src []uint64, port *grid.ShiftPort, nbits int, tailMask uint64, wlo, whi int) {
+	rotateBitsRange(dst, src, nbits, port.Shift, tailMask, wlo, whi)
 	for i, db := range port.FixDst {
+		w := int(db >> 6)
+		if w < wlo || w >= whi {
+			continue
+		}
 		sb := port.FixSrc[i]
 		bit := src[sb>>6] >> uint(sb&63) & 1
-		w, o := db>>6, uint(db&63)
+		o := uint(db & 63)
 		dst[w] = dst[w]&^(1<<o) | bit<<o
 	}
 }
 
-// rotateBits writes dst bit i = src bit (i+s) mod nbits for i in [0, nbits),
-// with s in [0, nbits).  src must honor the plane invariant that bits ≥
-// nbits are zero; dst receives the same invariant.  dst and src must not
-// alias.
-func rotateBits(dst, src []uint64, nbits, s int, tailMask uint64) {
+// rotateBitsRange writes dst bit i = src bit (i+s) mod nbits for the bits
+// of dst words [wlo, whi), with s in [0, nbits).  src must honor the plane
+// invariant that bits ≥ nbits are zero; dst receives the same invariant.
+// dst and src must not alias.  The full rotation is the [0, len(src)) range.
+func rotateBitsRange(dst, src []uint64, nbits, s int, tailMask uint64, wlo, whi int) {
 	if s == 0 {
-		copy(dst, src)
+		copy(dst[wlo:whi], src[wlo:whi])
 		return
 	}
 	words := len(src)
@@ -390,7 +429,7 @@ func rotateBits(dst, src []uint64, nbits, s int, tailMask uint64) {
 	// shift of the bit array; lanes past the end read the zero invariant).
 	off, sh := s>>6, uint(s&63)
 	if sh == 0 {
-		for w := 0; w < words; w++ {
+		for w := wlo; w < whi; w++ {
 			var x uint64
 			if w+off < words {
 				x = src[w+off]
@@ -398,7 +437,7 @@ func rotateBits(dst, src []uint64, nbits, s int, tailMask uint64) {
 			dst[w] = x
 		}
 	} else {
-		for w := 0; w < words; w++ {
+		for w := wlo; w < whi; w++ {
 			var x uint64
 			if w+off < words {
 				x = src[w+off] >> sh
@@ -414,12 +453,13 @@ func rotateBits(dst, src []uint64, nbits, s int, tailMask uint64) {
 	// disjoint because src bits ≥ nbits are zero.
 	t := nbits - s
 	off, sh = t>>6, uint(t&63)
+	lo := max(wlo, off)
 	if sh == 0 {
-		for w := words - 1; w >= off; w-- {
+		for w := whi - 1; w >= lo; w-- {
 			dst[w] |= src[w-off]
 		}
 	} else {
-		for w := words - 1; w >= off; w-- {
+		for w := whi - 1; w >= lo; w-- {
 			x := src[w-off] << sh
 			if w-off-1 >= 0 {
 				x |= src[w-off-1] >> (64 - sh)
@@ -427,7 +467,9 @@ func rotateBits(dst, src []uint64, nbits, s int, tailMask uint64) {
 			dst[w] |= x
 		}
 	}
-	dst[words-1] &= tailMask
+	if whi == words {
+		dst[words-1] &= tailMask
+	}
 }
 
 // downshiftFactor and downshiftRounds tune the bitplane→frontier handoff on

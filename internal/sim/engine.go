@@ -5,12 +5,16 @@
 // The engine follows the paper's execution model (Section III.D): the system
 // is synchronous, every vertex reads its neighbors' colors at time t and all
 // vertices apply the rule simultaneously to produce the configuration at
-// time t+1.  Four stepping tiers produce bit-identical results:
+// time t+1.  Five stepping tiers produce bit-identical results:
 //
 //   - the sequential full sweep, the oracle every other path is tested
 //     against;
 //   - the striped parallel sweep (double-buffered, one contiguous stripe per
 //     worker, executed on a persistent process-wide worker pool);
+//   - the sharded domain-decomposed stepper (see Sharded), which cuts the
+//     substrate into per-worker shards stepped from shard-local buffers
+//     with a per-round halo exchange — the tier that scales with workers
+//     on substrates too large for one cache hierarchy;
 //   - the dirty-frontier stepper (see Frontier), which re-evaluates only the
 //     vertices whose neighborhood changed in the previous round — the
 //     low-churn specialist;
@@ -60,11 +64,12 @@ type Kernel int
 const (
 	// KernelAuto lets the engine pick: the bitplane kernel when the rule,
 	// topology and coloring qualify (and the run needs no per-round scalar
-	// views), the striped parallel sweep when Parallel is set, the
-	// sequential sweep when FullSweep is set, and the dirty frontier
-	// otherwise.  Auto-selected sequential bitplane runs may additionally
-	// downshift to the frontier mid-run once the change rate gets low
-	// (recorded on Result.Downshift).
+	// views), the sharded stepper for parallel runs on substrates of
+	// shardedAutoThreshold vertices or more, the striped parallel sweep for
+	// smaller parallel runs, the sequential sweep when FullSweep is set,
+	// and the dirty frontier otherwise.  Auto-selected sequential bitplane
+	// runs may additionally downshift to the frontier mid-run once the
+	// change rate gets low (recorded on Result.Downshift).
 	KernelAuto Kernel = iota
 	// KernelBitplane forces the word-parallel bit-sliced stepper.  Runs
 	// error (wrapping ErrBitplaneIneligible) when the combination does not
@@ -77,6 +82,16 @@ const (
 	// KernelParallel forces the striped parallel sweep (Workers goroutines,
 	// GOMAXPROCS when unset).
 	KernelParallel
+	// KernelSharded forces the domain-decomposed sweep: the substrate is cut
+	// into contiguous degree-balanced shards (row-band slabs on the dense
+	// tori), each worker steps only its own shard out of shard-local double
+	// buffers, and a per-round halo exchange copies just the boundary cells
+	// between shards.  Workers selects the shard count exactly as on
+	// KernelParallel.  Automatic selection prefers this tier over the striped
+	// sweep on parallel runs of shardedAutoThreshold vertices or more, where
+	// the striped sweep's shared-buffer bandwidth wall makes extra workers
+	// useless.
+	KernelSharded
 )
 
 // String returns the tier name used in logs and experiment tables.
@@ -92,13 +107,15 @@ func (k Kernel) String() string {
 		return "sweep"
 	case KernelParallel:
 		return "parallel"
+	case KernelSharded:
+		return "sharded"
 	default:
 		return fmt.Sprintf("Kernel(%d)", int(k))
 	}
 }
 
 // ParseKernel resolves a tier name ("auto", "bitplane", "frontier", "sweep",
-// "parallel"; "" means auto) to its Kernel, the inverse of String.
+// "parallel", "sharded"; "" means auto) to its Kernel, the inverse of String.
 func ParseKernel(name string) (Kernel, error) {
 	switch name {
 	case "", "auto":
@@ -111,8 +128,10 @@ func ParseKernel(name string) (Kernel, error) {
 		return KernelSweep, nil
 	case "parallel":
 		return KernelParallel, nil
+	case "sharded":
+		return KernelSharded, nil
 	default:
-		return KernelAuto, fmt.Errorf("sim: unknown kernel %q (want auto, bitplane, frontier, sweep or parallel)", name)
+		return KernelAuto, fmt.Errorf("sim: unknown kernel %q (want auto, bitplane, frontier, sweep, parallel or sharded)", name)
 	}
 }
 
@@ -415,6 +434,12 @@ type Engine struct {
 	// slicePool recycles bit-sliced ensemble steppers (Bitslice) across
 	// batches the same way.
 	slicePool sync.Pool
+	// shardSets memoizes the immutable partitioned views of the substrate
+	// (grid.CSRShard slices) per shard count.  The mutable per-run shard
+	// buffers live on the pooled runState; only the O(E) local adjacency
+	// rewrite is shared here, so repeated sharded runs at the same worker
+	// count pay it once.
+	shardSets sync.Map // int -> []*grid.CSRShard
 }
 
 // NewEngine builds an engine for the given torus topology and rule.  It is
@@ -506,10 +531,16 @@ func (e *Engine) Rule() rules.Rule { return e.rule }
 // would be allocated for nothing, which FreshBuffers callers would pay on
 // every run.
 type runState struct {
-	f         *Frontier
+	f *Frontier
+	// cur and next are the sweep tier's double buffers, allocated lazily by
+	// buffers(): only the sweep drivers touch them, and eagerly allocating
+	// two O(n) colorings on every pool miss was the per-step bytes_per_op
+	// the parallel benchmarks showed whenever a GC cycle dropped pool
+	// entries mid-run.
 	cur, next *color.Coloring
 	prevPrev  *color.Coloring
 	bp        *Bitplane
+	shd       *Sharded
 	wg        sync.WaitGroup
 	stripeBuf []stripeTask
 	// scratch backs the sequential generic and time-varying steppers'
@@ -524,6 +555,27 @@ func (st *runState) frontier(e *Engine) *Frontier {
 		st.f = newFrontier(e)
 	}
 	return st.f
+}
+
+// buffers returns the sweep tier's double buffers, creating them on first
+// use.
+func (st *runState) buffers(e *Engine) (cur, next *color.Coloring) {
+	if st.cur == nil {
+		d := e.sub.Dims()
+		st.cur = color.NewColoring(d, color.None)
+		st.next = color.NewColoring(d, color.None)
+	}
+	return st.cur, st.next
+}
+
+// sharded returns the state's sharded stepper for the requested worker
+// count, creating (or rebuilding, when the count differs from the previous
+// run's) it on first use.
+func (st *runState) sharded(e *Engine, workers int) *Sharded {
+	if st.shd == nil || st.shd.requested != workers {
+		st.shd = e.NewSharded(workers)
+	}
+	return st.shd
 }
 
 // stripes returns the pre-allocated task buffer grown to n entries; after
@@ -541,10 +593,7 @@ func (e *Engine) getState(fresh bool) *runState {
 			return v.(*runState)
 		}
 	}
-	d := e.sub.Dims()
 	return &runState{
-		cur:     color.NewColoring(d, color.None),
-		next:    color.NewColoring(d, color.None),
 		scratch: make([]color.Color, 0, e.maxDeg),
 	}
 }
@@ -569,8 +618,14 @@ func (e *Engine) stepRange(cur, next []color.Color, lo, hi int, scratch []color.
 // stepRange4 is the unrolled inner loop for dense 4-regular indexes — the
 // hot path of every torus run, kept free of per-vertex offset loads.
 func (e *Engine) stepRange4(cur, next []color.Color, lo, hi int) int {
+	return e.stepRange4On(e.csr.Neighbors, cur, next, lo, hi)
+}
+
+// stepRange4On is stepRange4 over an explicit dense 4-regular neighbor
+// table, the seam that lets the sharded stepper run its shard-local
+// adjacency through the same unrolled loop the global sweep uses.
+func (e *Engine) stepRange4On(fwd []int32, cur, next []color.Color, lo, hi int) int {
 	changed := 0
-	fwd := e.csr.Neighbors
 	if cr := e.countRule; cr != nil {
 		for v := lo; v < hi; v++ {
 			base := v * grid.Degree
@@ -608,8 +663,13 @@ func (e *Engine) stepRange4(cur, next []color.Color, lo, hi int) int {
 // path when the multiset fits a Counts vector exactly, and gathered into
 // scratch for the rule's slice path otherwise.
 func (e *Engine) stepRangeGeneric(cur, next []color.Color, lo, hi int, scratch []color.Color) int {
+	return e.stepRangeGenericOn(e.csr.Neighbors, e.csr.Off, cur, next, lo, hi, scratch)
+}
+
+// stepRangeGenericOn is stepRangeGeneric over an explicit offset-framed
+// neighbor table (the sharded stepper's local adjacency seam).
+func (e *Engine) stepRangeGenericOn(fwd, off []int32, cur, next []color.Color, lo, hi int, scratch []color.Color) int {
 	changed := 0
-	fwd, off := e.csr.Neighbors, e.csr.Off
 	cr := e.countRule
 	for v := lo; v < hi; v++ {
 		row := fwd[off[v]:off[v+1]]

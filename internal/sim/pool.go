@@ -5,7 +5,6 @@ import (
 	"sync"
 
 	"repro/internal/color"
-	"repro/internal/rules"
 )
 
 // stripeTask is one unit of striped step work.  Tasks live in a per-run
@@ -14,9 +13,9 @@ import (
 // pointers to the shared worker pool and waits on the run's WaitGroup.
 //
 // run is one of the package-level method expressions below, chosen by the
-// tier: the scalar stripe uses (e, cur, next), the bitplane stripe uses
-// (bst, kern).  changed is written by the worker and read by the submitter
-// after the WaitGroup settles.
+// tier: the scalar stripe uses (e, cur, next), the bitplane stripe uses bp.
+// changed is written by the worker and read by the submitter after the
+// WaitGroup settles.
 type stripeTask struct {
 	run func(*stripeTask)
 	wg  *sync.WaitGroup
@@ -24,8 +23,13 @@ type stripeTask struct {
 	e         *Engine
 	cur, next []color.Color
 
-	bst  *rules.BitState
-	kern rules.BitKernel
+	// bp parameterizes the bitplane stripe: the task steps the word range
+	// [lo, hi) in fused shift+kernel cache blocks.
+	bp *Bitplane
+
+	// shd parameterizes the sharded stripe: the task's lo field carries the
+	// shard index and the per-shard outputs land in the shard's own state.
+	shd *Sharded
 
 	// round and avail parameterize the time-varying stripe; scratch backs
 	// the generic and time-varying stripes' neighbor gathering.  scratch is
@@ -60,16 +64,21 @@ func (t *stripeTask) growScratch() {
 	}
 }
 
-func (t *stripeTask) runBitKernel() {
-	t.kern.StepWords(t.bst, t.lo, t.hi)
+func (t *stripeTask) runBitSlab() {
+	t.bp.stepSlabs(t.lo, t.hi, bitplaneSlabWords)
+}
+
+func (t *stripeTask) runShard() {
+	t.shd.stepShard(t.lo)
 }
 
 // Method expressions, bound once: assigning them to stripeTask.run does not
 // allocate, unlike per-step closures or bound method values.
 var (
-	runSweepTask     = (*stripeTask).runSweep
-	runSweepTVTask   = (*stripeTask).runSweepTV
-	runBitKernelTask = (*stripeTask).runBitKernel
+	runSweepTask   = (*stripeTask).runSweep
+	runSweepTVTask = (*stripeTask).runSweepTV
+	runBitSlabTask = (*stripeTask).runBitSlab
+	runShardTask   = (*stripeTask).runShard
 )
 
 // stripePool is the process-wide persistent worker pool behind every

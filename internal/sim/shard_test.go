@@ -1,0 +1,309 @@
+package sim
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/color"
+	"repro/internal/grid"
+	"repro/internal/rules"
+	"repro/internal/tvg"
+)
+
+// shardedOpts returns base with the sharded tier forced at the given worker
+// count.
+func shardedOpts(base Options, workers int) Options {
+	base.Kernel = KernelSharded
+	base.Parallel = true
+	base.Workers = workers
+	return base
+}
+
+// resultJSONEqual pins two Results byte-identical on the full JSON wire
+// form, after normalizing the fields that name the tier itself (Kernel,
+// Workers, Downshift): everything a consumer can observe about the run —
+// rounds, verdicts, traces, final configuration — must match exactly.
+func resultJSONEqual(t *testing.T, label string, a, b *Result) {
+	t.Helper()
+	na, nb := *a, *b
+	na.Kernel, nb.Kernel = KernelSweep, KernelSweep
+	na.Workers, nb.Workers = 1, 1
+	na.Downshift, nb.Downshift = 0, 0
+	ja, err := json.Marshal(&na)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := json.Marshal(&nb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ja) != string(jb) {
+		t.Fatalf("%s: result JSON differs\n a: %s\n b: %s", label, ja, jb)
+	}
+}
+
+// TestShardedBitIdenticalAllRulesAllTopologies is the sharded tier's
+// differential oracle: on every registered rule × topology kind, over
+// random colorings on several sizes including the degenerate 2×n and m×2
+// tori, the sharded stepper at k ∈ {2, 3, 4} shards must produce Results
+// byte-identical (full JSON) to the sequential full sweep.
+func TestShardedBitIdenticalAllRulesAllTopologies(t *testing.T) {
+	sizes := [][2]int{{2, 7}, {7, 2}, {3, 3}, {4, 6}, {6, 6}}
+	for _, name := range rules.RegisteredNames() {
+		rule, err := rules.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, kind := range grid.Kinds() {
+			for _, sz := range sizes {
+				topo := grid.MustNew(kind, sz[0], sz[1])
+				eng := NewEngine(topo, rule)
+				for seed := uint64(1); seed <= 3; seed++ {
+					initial := randomTestColoring(seed, topo.Dims(), 5)
+					base := Options{MaxRounds: 40, Target: 1, DetectCycles: true}
+					sweep := base
+					sweep.Kernel = KernelSweep
+					oracle := eng.Run(initial, sweep)
+					for _, k := range []int{2, 3, 4} {
+						sharded := eng.Run(initial, shardedOpts(base, k))
+						label := name + "/" + topo.Name() + "/" + topo.Dims().String() + "/k=" + string(rune('0'+k))
+						resultsEqual(t, label, sharded, oracle)
+						resultJSONEqual(t, label, sharded, oracle)
+						if sharded.Kernel != KernelSharded {
+							t.Fatalf("%s: kernel %v, want sharded", label, sharded.Kernel)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardedCycleAcrossShardBoundary pins period-2 cycle detection when
+// the oscillating set spans shard boundaries: every shard's local verdict
+// must AND into the global one at the same round the sweep detects, and
+// the oscillation must actually cross row-band boundaries for the test to
+// mean anything.
+func TestShardedCycleAcrossShardBoundary(t *testing.T) {
+	topo := grid.MustNew(grid.KindToroidalMesh, 6, 6)
+	rule, err := rules.ByName("generalized-smp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(topo, rule)
+	initial := randomTestColoring(1, topo.Dims(), 3)
+	base := Options{MaxRounds: 60, DetectCycles: true, RecordHistory: true}
+	sweep := base
+	sweep.Kernel = KernelSweep
+	oracle := eng.Run(initial, sweep)
+	if !oracle.Cycle {
+		t.Fatal("expected the oracle run to detect a cycle (seed drifted?)")
+	}
+	// The last round's changed vertices must span more than one row-band
+	// shard at k=3 (2 rows per shard on 6 rows), otherwise the scenario
+	// does not cross a boundary.
+	h := oracle.History
+	last, before := h[len(h)-1], h[len(h)-2]
+	bands := map[int]bool{}
+	for v := 0; v < last.N(); v++ {
+		if last.At(v) != before.At(v) {
+			bands[(v/6)/2] = true
+		}
+	}
+	if len(bands) < 2 {
+		t.Fatalf("oscillation confined to row bands %v; pick a different seed", bands)
+	}
+	for _, k := range []int{2, 3, 4} {
+		sharded := eng.Run(initial, shardedOpts(base, k))
+		if !sharded.Cycle {
+			t.Fatalf("k=%d: sharded run missed the cycle", k)
+		}
+		resultsEqual(t, "cycle/k", sharded, oracle)
+		resultJSONEqual(t, "cycle/k", sharded, oracle)
+	}
+}
+
+// TestShardedResumeMidRun checkpoints a sharded run in the middle —
+// including at rounds where the dynamics straddle shard boundaries — and
+// resumes it on the sharded tier; the stitched Result must equal both an
+// uninterrupted sharded run and the sequential sweep, for plain, target-
+// tracked and cycle-detecting runs.
+func TestShardedResumeMidRun(t *testing.T) {
+	topo := grid.MustNew(grid.KindToroidalMesh, 6, 6)
+	for _, ruleName := range []string{"smp", "generalized-smp"} {
+		rule, err := rules.ByName(ruleName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := NewEngine(topo, rule)
+		initial := randomTestColoring(2, topo.Dims(), 3)
+		opt := shardedOpts(Options{MaxRounds: 60, Target: 1, DetectCycles: true}, 3)
+		sweep := Options{MaxRounds: 60, Target: 1, DetectCycles: true, Kernel: KernelSweep}
+		oracle := eng.Run(initial, sweep)
+		full := eng.Run(initial, opt)
+		resultsEqual(t, ruleName+"/uninterrupted", full, oracle)
+
+		for cutAt := 1; cutAt < full.Rounds; cutAt++ {
+			var cp *Resume
+			for st, err := range eng.Stream(context.Background(), initial, opt) {
+				if err != nil {
+					t.Fatal(err)
+				}
+				if st.Round == cutAt {
+					cp = st.Checkpoint()
+					break
+				}
+			}
+			if cp == nil {
+				t.Fatalf("%s: no checkpoint at round %d", ruleName, cutAt)
+			}
+			resumed, err := eng.ResumeContext(context.Background(), cp, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resumed.Kernel != KernelSharded {
+				t.Fatalf("%s: resumed kernel %v, want sharded", ruleName, resumed.Kernel)
+			}
+			resultsEqual(t, ruleName+"/resumed", resumed, oracle)
+			resultJSONEqual(t, ruleName+"/resumed", resumed, oracle)
+		}
+	}
+}
+
+// TestShardedMetadata pins the Result metadata contract: the tier name and
+// the effective worker count, which is the shard count — capped by the
+// substrate's row count on tori, so requesting more shards than rows
+// reports the real parallelism.
+func TestShardedMetadata(t *testing.T) {
+	topo := grid.MustNew(grid.KindToroidalMesh, 5, 4)
+	eng := NewEngine(topo, rules.SMP{})
+	initial := randomTestColoring(3, topo.Dims(), 3)
+
+	res := eng.Run(initial, shardedOpts(Options{MaxRounds: 10}, 3))
+	if res.Kernel != KernelSharded || res.Workers != 3 {
+		t.Fatalf("kernel=%v workers=%d, want sharded/3", res.Kernel, res.Workers)
+	}
+	// 64 requested shards over 5 rows: row-aligned cuts cap at 5.
+	res = eng.Run(initial, shardedOpts(Options{MaxRounds: 10}, 64))
+	if res.Workers != 5 {
+		t.Fatalf("workers=%d for 64 requested shards over 5 rows, want 5", res.Workers)
+	}
+	// Forcing the kernel without Parallel derives workers like
+	// KernelParallel (GOMAXPROCS-bound); it must still run sharded.
+	res = eng.Run(initial, Options{MaxRounds: 10, Kernel: KernelSharded})
+	if res.Kernel != KernelSharded || res.Workers < 1 {
+		t.Fatalf("kernel=%v workers=%d for forced sharded without Parallel", res.Kernel, res.Workers)
+	}
+}
+
+// TestShardedAutoSelection pins the automatic tier choice: parallel runs at
+// or above shardedAutoThreshold vertices step sharded, smaller ones keep
+// the striped parallel sweep, and FullSweep retains its oracle contract.
+func TestShardedAutoSelection(t *testing.T) {
+	// A 5-color palette keeps the (faster, already scaling) bitplane tier
+	// out of the running, so the auto choice is between the two sweeps.
+	big := grid.MustNew(grid.KindToroidalMesh, 512, 256) // exactly 1<<17
+	eng := NewEngine(big, rules.SMP{})
+	initial := randomTestColoring(4, big.Dims(), 5)
+	res := eng.Run(initial, Options{MaxRounds: 2, Parallel: true, Workers: 4})
+	if res.Kernel != KernelSharded {
+		t.Fatalf("auto kernel %v above threshold, want sharded", res.Kernel)
+	}
+	res = eng.Run(initial, Options{MaxRounds: 2, Parallel: true, Workers: 4, FullSweep: true})
+	if res.Kernel != KernelParallel {
+		t.Fatalf("auto kernel %v with FullSweep, want parallel", res.Kernel)
+	}
+
+	small := grid.MustNew(grid.KindToroidalMesh, 16, 16)
+	engS := NewEngine(small, rules.SMP{})
+	res = engS.Run(randomTestColoring(4, small.Dims(), 5), Options{MaxRounds: 2, Parallel: true, Workers: 4})
+	if res.Kernel != KernelParallel {
+		t.Fatalf("auto kernel %v below threshold, want parallel", res.Kernel)
+	}
+}
+
+// TestShardedTimeVaryingRejected pins that forcing the sharded tier on a
+// time-varying run fails loudly instead of silently dropping the
+// availability mask.
+func TestShardedTimeVaryingRejected(t *testing.T) {
+	topo := grid.MustNew(grid.KindToroidalMesh, 6, 6)
+	eng := NewEngine(topo, rules.SMP{})
+	initial := randomTestColoring(5, topo.Dims(), 3)
+	opt := shardedOpts(Options{MaxRounds: 10}, 2)
+	opt.TimeVarying = tvg.Bernoulli{P: 0.5, Seed: 1}
+	if _, err := eng.RunContext(context.Background(), initial, opt); !errors.Is(err, ErrTimeVaryingSweepOnly) {
+		t.Fatalf("err = %v, want ErrTimeVaryingSweepOnly", err)
+	}
+}
+
+// TestShardedKernelJSONRoundTrip pins the wire name of the new tier.
+func TestShardedKernelJSONRoundTrip(t *testing.T) {
+	b, err := json.Marshal(KernelSharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `"sharded"` {
+		t.Fatalf("marshal = %s, want \"sharded\"", b)
+	}
+	var k Kernel
+	if err := json.Unmarshal(b, &k); err != nil {
+		t.Fatal(err)
+	}
+	if k != KernelSharded {
+		t.Fatalf("round-trip = %v", k)
+	}
+	if parsed, err := ParseKernel("sharded"); err != nil || parsed != KernelSharded {
+		t.Fatalf("ParseKernel(sharded) = %v, %v", parsed, err)
+	}
+}
+
+// TestShardedStepDoesNotAllocate pins the steady-state allocation behavior
+// of the sharded stepper: once the shard buffers exist, stepping allocates
+// nothing — the same zero-allocation contract the striped tier carries.
+func TestShardedStepDoesNotAllocate(t *testing.T) {
+	topo := grid.MustNew(grid.KindToroidalMesh, 32, 32)
+	eng := NewEngine(topo, rules.SMP{})
+	initial := randomTestColoring(6, topo.Dims(), 3)
+	sh := eng.NewSharded(4)
+	sh.Reset(initial)
+	avg := testing.AllocsPerRun(200, func() {
+		sh.Step()
+	})
+	if avg != 0 {
+		t.Fatalf("sharded step allocates %.1f allocs/op, want 0", avg)
+	}
+}
+
+// TestShardedConcurrentRuns is the race-stress case behind the CI
+// `-race -count=2` step: several goroutines run forced-sharded simulations
+// concurrently over one shared engine (shared shard-set cache, shared
+// stripe pool, pooled run states), each pinned against the sweep oracle.
+func TestShardedConcurrentRuns(t *testing.T) {
+	topo := grid.MustNew(grid.KindToroidalMesh, 24, 24)
+	eng := NewEngine(topo, rules.SMP{})
+	oracle := make([]*Result, 4)
+	initials := make([]*color.Coloring, 4)
+	for i := range initials {
+		initials[i] = randomTestColoring(uint64(10+i), topo.Dims(), 3)
+		oracle[i] = eng.Run(initials[i], Options{MaxRounds: 50, Target: 1, DetectCycles: true, Kernel: KernelSweep})
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			i := g % len(initials)
+			opt := shardedOpts(Options{MaxRounds: 50, Target: 1, DetectCycles: true}, 1+g%4)
+			res := eng.Run(initials[i], opt)
+			// t.Fatalf must not be called off the test goroutine; record
+			// through Errorf-style helpers instead.
+			if res.Rounds != oracle[i].Rounds || !res.Final.Equal(oracle[i].Final) {
+				t.Errorf("goroutine %d: sharded run diverged from oracle", g)
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -221,7 +221,8 @@ type sweepDriver struct {
 }
 
 func (e *Engine) newSweepDriver(st *runState, initial *color.Coloring, opt Options, workers int, rs *Resume) *sweepDriver {
-	d := &sweepDriver{e: e, st: st, cur: st.cur, next: st.next, tv: opt.TimeVarying, workers: workers}
+	cur, next := st.buffers(e)
+	d := &sweepDriver{e: e, st: st, cur: cur, next: next, tv: opt.TimeVarying, workers: workers}
 	d.cur.CopyFrom(initial)
 	// The period-2 trace is maintained only when the verdict can ever be
 	// consulted: under a non-static availability model cycle detection is
@@ -556,6 +557,11 @@ func (e *Engine) streamRun(ctx context.Context, initial *color.Coloring, rs *Res
 				yield(nil, fmt.Errorf("%w: kernel %v re-evaluates only vertices whose neighborhood changed color, but link churn can change a vertex's input without any color changing", ErrTimeVaryingSweepOnly, opt.Kernel))
 				return
 			}
+		case KernelSharded:
+			if tv != nil {
+				yield(nil, fmt.Errorf("%w: the sharded tier steps shard-local neighbor ids, but availability models are keyed by global vertex ids", ErrTimeVaryingSweepOnly))
+				return
+			}
 		}
 		if rs != nil && opt.Kernel == KernelBitplane {
 			yield(nil, fmt.Errorf("%w: a checkpoint carries scalar state only; resumed runs use the scalar tiers", ErrBitplaneIneligible))
@@ -595,6 +601,14 @@ func (e *Engine) streamRun(ctx context.Context, initial *color.Coloring, rs *Res
 				workers = par.EffectiveWorkers(d.N())
 			}
 			drv, kernel = e.newSweepDriver(st, initial, opt, workers, rs), KernelParallel
+		case KernelSharded:
+			if workers <= 1 {
+				par := opt
+				par.Parallel = true
+				workers = par.EffectiveWorkers(d.N())
+			}
+			sd := e.newShardedDriver(st, initial, opt, workers, rs)
+			drv, kernel, workers = sd, KernelSharded, sd.sh.Shards()
 		case KernelAuto:
 			// Automatic selection.  Time-varying runs are pinned to the
 			// full-sweep steppers (see Options.TimeVarying).  Otherwise the
@@ -616,6 +630,15 @@ func (e *Engine) streamRun(ctx context.Context, initial *color.Coloring, rs *Res
 				}
 				if drv == nil && workers == 1 && !opt.FullSweep {
 					drv, kernel = e.newFrontierDriver(st, initial, rs), KernelFrontier
+				}
+				// Parallel runs on large substrates take the sharded tier:
+				// above the threshold the striped sweep is bandwidth-bound on
+				// its shared buffers and extra workers stop helping, while
+				// shard-local buffers restore cache locality.  FullSweep keeps
+				// its oracle contract (the striped sweep, as before).
+				if drv == nil && workers > 1 && !opt.FullSweep && d.N() >= shardedAutoThreshold {
+					sd := e.newShardedDriver(st, initial, opt, workers, rs)
+					drv, kernel, workers = sd, KernelSharded, sd.sh.Shards()
 				}
 			}
 			if drv == nil {
