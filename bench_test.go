@@ -688,3 +688,54 @@ func BenchmarkRunBatchBitsliced(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkEnsemble measures the Monte-Carlo ensemble harness end to end:
+// spec in, aggregated takeover report out.  The deterministic variant's
+// replicas share one run spec and ride the bit-sliced batch tier; the noisy
+// variant derives per-replica fault streams and runs replica-at-a-time —
+// the two regimes the dynserve /v1/ensembles endpoint serves.
+func BenchmarkEnsemble(b *testing.B) {
+	base := func() *dynmon.EnsembleSpec {
+		return &dynmon.EnsembleSpec{
+			System: dynmon.Spec{
+				Substrate: dynmon.SubstrateSpec{
+					Topology: &dynmon.TopologySpec{Name: "toroidal-mesh", Rows: 64, Cols: 64},
+				},
+				Colors: 2,
+				Rule:   "smp",
+			},
+			Initial:  dynmon.InitialSpec{Config: "bernoulli", Density: 0.55},
+			Run:      dynmon.RunSpec{MaxRounds: 24, Target: 1},
+			Replicas: 32,
+			Seed:     1,
+		}
+	}
+	run := func(b *testing.B, spec *dynmon.EnsembleSpec) {
+		b.Helper()
+		ens, err := dynmon.NewEnsemble(spec, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(spec.Replicas * 64 * 64))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			report, err := ens.Run(context.Background())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(report.Points) == 0 {
+				b.Fatal("empty report")
+			}
+		}
+	}
+	b.Run("deterministic-64x64", func(b *testing.B) {
+		run(b, base())
+	})
+	b.Run("noisy-64x64", func(b *testing.B) {
+		spec := base()
+		spec.Run.Noise = &dynmon.NoiseSpec{Eps: 0.02}
+		spec.TakeoverFraction = 0.75
+		run(b, spec)
+	})
+}

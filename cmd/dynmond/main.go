@@ -13,6 +13,12 @@
 //
 //	curl -s -H 'Accept: application/json' -d @run.json localhost:8080/v1/runs
 //
+// Monte-Carlo ensemble studies post to /v1/ensembles (the same report
+// dynamomc computes offline for the same spec, cached by
+// EnsembleSpec.Digest):
+//
+//	curl -s -d @specs/ensembles/mesh-12x12-density-smoke.json localhost:8080/v1/ensembles
+//
 // On SIGINT/SIGTERM the server drains: in-flight runs finish or are evicted
 // to checkpoints, new submissions get 503, and the process exits when the
 // pool is idle or -drain-timeout expires.

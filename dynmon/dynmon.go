@@ -64,6 +64,24 @@
 // serializable TargetSetSpec (zero values mean defaults) and scores
 // candidate seeds on the sliced tier.
 //
+// Dynamics need not be deterministic or synchronous: the WithSchedule /
+// UniformAsync / Sequential / RandomSequential / VertexClock options pick
+// which vertices fire each round, and Noisy(eps, seed) makes the rule
+// ε-faulty (after each application the vertex adopts a uniformly random
+// other color with probability eps).  Every random bit comes from
+// counter-based hashes of (seed, round, vertex), so stochastic runs stay
+// pure functions of their spec — bit-identical across worker counts and
+// checkpoint/resume, with the schedule and noise seeds riding RunSpec and
+// Checkpoint automatically.  The Monte-Carlo harness on top is Ensemble:
+// an EnsembleSpec (system + run + replica count + master seed + optional
+// one-axis sweep over density/eps/p/threshold) fans counter-seeded
+// replicas through a Session — deterministic points ride the bit-sliced
+// batch tier — and aggregates an EnsembleReport with Wilson 95% takeover
+// intervals and rounds-to-takeover quantiles, byte-identical for any
+// worker count.  ParseEnsembleSpec is strict and fuzzed;
+// EnsembleSpec.Digest is the content address dynserve's POST /v1/ensembles
+// caches by.
+//
 // Rules, topologies and graph generators are pluggable: RegisterRule,
 // RegisterTopology and RegisterGenerator add new implementations resolvable
 // by name — in options and in specs — without forking the repository.
@@ -267,7 +285,7 @@ func (s *System) Run(ctx context.Context, initial *Coloring, opts ...RunOption) 
 		// anyway, so the result is bit-identical.
 		return drainSteps(s.stepsSpec(ctx, initial, rs))
 	}
-	opt, err := rs.engineOptions()
+	opt, err := rs.engineOptions(s.palette.K)
 	if err != nil {
 		return nil, err
 	}

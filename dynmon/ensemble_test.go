@@ -1,0 +1,321 @@
+package dynmon
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// ensembleSpecDoc is a small, fast, fully wired example: a density sweep of
+// the ε-faulty majority on a torus, the miniature of the checked-in
+// specs/ensembles/ study.
+const ensembleSpecDoc = `{
+  "system": {
+    "substrate": {"topology": {"name": "toroidal-mesh", "rows": 12, "cols": 12}},
+    "colors": 2,
+    "rule": "smp"
+  },
+  "initial": {"config": "bernoulli"},
+  "run": {"max_rounds": 48, "target": 1, "noise": {"eps": 0.02}},
+  "replicas": 16,
+  "seed": 42,
+  "sweep": {"axis": "density", "values": [0.2, 0.5, 0.8]}
+}`
+
+func parseEnsembleDoc(t *testing.T) *EnsembleSpec {
+	t.Helper()
+	es, err := ParseEnsembleSpec([]byte(ensembleSpecDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return es
+}
+
+// TestParseEnsembleSpecRejects pins the strict parser's error surface.
+func TestParseEnsembleSpecRejects(t *testing.T) {
+	base := func() *EnsembleSpec { return parseEnsembleDoc(t) }
+	cases := map[string]func(*EnsembleSpec){
+		"no replicas":            func(es *EnsembleSpec) { es.Replicas = 0 },
+		"no initial":             func(es *EnsembleSpec) { es.Initial = InitialSpec{} },
+		"empty sweep":            func(es *EnsembleSpec) { es.Sweep.Values = nil },
+		"unknown axis":           func(es *EnsembleSpec) { es.Sweep.Axis = "voltage" },
+		"density out of range":   func(es *EnsembleSpec) { es.Sweep.Values = []float64{1.5} },
+		"density without family": func(es *EnsembleSpec) { es.Initial.Config = "random" },
+		"p on wrong schedule":    func(es *EnsembleSpec) { es.Sweep.Axis = "p"; es.Run.Schedule = &ScheduleSpec{Mode: "sequential"} },
+		"p zero":                 func(es *EnsembleSpec) { es.Sweep.Axis = "p"; es.Sweep.Values = []float64{0} },
+		"fractional threshold":   func(es *EnsembleSpec) { es.Sweep.Axis = "threshold"; es.Sweep.Values = []float64{1.5} },
+		"threshold out of range": func(es *EnsembleSpec) { es.Sweep.Axis = "threshold"; es.Sweep.Values = []float64{9} },
+		"eps above one":          func(es *EnsembleSpec) { es.Sweep.Axis = "eps"; es.Sweep.Values = []float64{1.01} },
+		"takeover fraction > 1":  func(es *EnsembleSpec) { es.TakeoverFraction = 1.5 },
+	}
+	for label, mutate := range cases {
+		t.Run(label, func(t *testing.T) {
+			es := base()
+			mutate(es)
+			if err := es.Validate(); err == nil {
+				t.Fatalf("%s accepted", label)
+			}
+		})
+	}
+	if _, err := ParseEnsembleSpec([]byte(`{"system": {}, "voltage": 1}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if _, err := ParseEnsembleSpec([]byte(ensembleSpecDoc + "trailing")); err == nil {
+		t.Fatal("trailing data accepted")
+	}
+}
+
+// TestEnsembleDigest pins the content address: stable across parse round
+// trips, sensitive to every seeding input.
+func TestEnsembleDigest(t *testing.T) {
+	es := parseEnsembleDoc(t)
+	d1, err := es.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(d1, "sha256:") {
+		t.Fatalf("digest %q", d1)
+	}
+	wire, err := es.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := ParseEnsembleSpec(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := again.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Fatalf("digest unstable across round trip: %q vs %q", d1, d2)
+	}
+	mutated := parseEnsembleDoc(t)
+	mutated.Seed++
+	d3, err := mutated.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d3 == d1 {
+		t.Fatal("digest ignores the master seed")
+	}
+}
+
+// runEnsemble builds and runs an ensemble with the given pool bound.
+func runEnsemble(t *testing.T, es *EnsembleSpec, workers int) *EnsembleReport {
+	t.Helper()
+	e, err := NewEnsemble(es, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestEnsembleDeterministicAcrossWorkers is the ensemble determinism
+// acceptance: the same spec must produce a byte-identical report whether
+// replicas run on 1 worker or 4, for both the stochastic per-replica path
+// (noisy runs) and the batch path (deterministic runs, which ride the
+// bit-sliced tier on this 2-color mesh system).
+func TestEnsembleDeterministicAcrossWorkers(t *testing.T) {
+	noisy := parseEnsembleDoc(t)
+	det := parseEnsembleDoc(t)
+	det.Run.Noise = nil
+	for label, es := range map[string]*EnsembleSpec{"stochastic": noisy, "deterministic": det} {
+		t.Run(label, func(t *testing.T) {
+			seq := runEnsemble(t, es, 1)
+			par := runEnsemble(t, es, 4)
+			seqWire, err := seq.JSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			parWire, err := par.JSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(seqWire) != string(parWire) {
+				t.Fatalf("report differs across worker counts:\n--- 1 worker\n%s\n--- 4 workers\n%s", seqWire, parWire)
+			}
+		})
+	}
+}
+
+// TestEnsembleDensitySweep checks the physics end to end: takeover
+// probability of the majority rule grows along the seeding-density axis,
+// intervals are well-formed, and the outcome census covers every replica.
+func TestEnsembleDensitySweep(t *testing.T) {
+	es := parseEnsembleDoc(t)
+	rep := runEnsemble(t, es, 0)
+	if rep.Axis != "density" || len(rep.Points) != 3 {
+		t.Fatalf("axis %q, %d points", rep.Axis, len(rep.Points))
+	}
+	for _, pt := range rep.Points {
+		if pt.Takeovers+pt.FixedPoints+pt.Cycles+pt.Exhausted != pt.Replicas {
+			t.Fatalf("outcome census %d+%d+%d+%d does not cover %d replicas",
+				pt.Takeovers, pt.FixedPoints, pt.Cycles, pt.Exhausted, pt.Replicas)
+		}
+		if pt.CILow > pt.TakeoverProb || pt.TakeoverProb > pt.CIHigh {
+			t.Fatalf("point estimate %v outside its interval [%v, %v]", pt.TakeoverProb, pt.CILow, pt.CIHigh)
+		}
+		if pt.Takeovers > 0 && (pt.Rounds.Min < 0 || pt.Rounds.Min > pt.Rounds.P50 || pt.Rounds.P50 > pt.Rounds.P90 || pt.Rounds.P90 > pt.Rounds.Max) {
+			t.Fatalf("rounds summary out of order: %+v", pt.Rounds)
+		}
+	}
+	lo, hi := rep.Points[0], rep.Points[2]
+	if lo.TakeoverProb >= hi.TakeoverProb {
+		t.Fatalf("takeover probability did not grow with density: %.3f at %.1f vs %.3f at %.1f",
+			lo.TakeoverProb, lo.Value, hi.TakeoverProb, hi.Value)
+	}
+}
+
+// TestEnsembleEpsAxis checks the eps axis, including the eps=0 point, which
+// removes the noise section and must take the deterministic batch path.
+func TestEnsembleEpsAxis(t *testing.T) {
+	es := parseEnsembleDoc(t)
+	es.Initial.Density = 0.5
+	es.Run.Noise = nil
+	es.Sweep = &SweepSpec{Axis: "eps", Values: []float64{0, 0.5}}
+	rep := runEnsemble(t, es, 2)
+	if len(rep.Points) != 2 {
+		t.Fatalf("%d points", len(rep.Points))
+	}
+	// At eps=0.5 half of all rule applications misfire; sustained takeover
+	// of a 144-vertex torus within the budget is (astronomically) unlikely,
+	// while the noise keeps configurations moving, so replicas exhaust.
+	if noisy := rep.Points[1]; noisy.Exhausted != noisy.Replicas {
+		t.Fatalf("eps=0.5 point: %+v; want every replica exhausted", noisy)
+	}
+}
+
+// TestEnsembleThresholdAxis checks the threshold axis rebuilds the system
+// per point through the threshold-θ registry entries: θ=1 floods from any
+// seed, θ=4 (unanimity on the degree-4 torus) freezes immediately.
+func TestEnsembleThresholdAxis(t *testing.T) {
+	es := parseEnsembleDoc(t)
+	es.Run.Noise = nil
+	es.Initial.Density = 0.3
+	es.Replicas = 8
+	es.Sweep = &SweepSpec{Axis: "threshold", Values: []float64{1, 4}}
+	rep := runEnsemble(t, es, 2)
+	flood, freeze := rep.Points[0], rep.Points[1]
+	if flood.Takeovers != flood.Replicas {
+		t.Fatalf("threshold-1 took over %d of %d replicas", flood.Takeovers, flood.Replicas)
+	}
+	if freeze.Takeovers != 0 {
+		t.Fatalf("threshold-4 took over %d replicas", freeze.Takeovers)
+	}
+}
+
+// TestEnsembleSweepless checks the degenerate single-point form.
+func TestEnsembleSweepless(t *testing.T) {
+	es := parseEnsembleDoc(t)
+	es.Sweep = nil
+	es.Initial.Density = 0.6
+	rep := runEnsemble(t, es, 2)
+	if rep.Axis != "" || len(rep.Points) != 1 {
+		t.Fatalf("axis %q, %d points", rep.Axis, len(rep.Points))
+	}
+}
+
+// TestEnsembleTakeoverFraction checks the bulk-takeover criterion: under a
+// round budget too short for full monochromatic takeover, a 0.6-fraction
+// criterion counts replicas the strict criterion misses — the knob noisy
+// large-grid ensembles rely on.
+func TestEnsembleTakeoverFraction(t *testing.T) {
+	base := parseEnsembleDoc(t)
+	base.Sweep = nil
+	base.Run.Noise = nil
+	base.Initial.Density = 0.65
+	base.Run.MaxRounds = 2
+	strict := runEnsemble(t, base, 2)
+
+	bulk := parseEnsembleDoc(t)
+	bulk.Sweep = nil
+	bulk.Run.Noise = nil
+	bulk.Initial.Density = 0.65
+	bulk.Run.MaxRounds = 2
+	bulk.TakeoverFraction = 0.6
+	loose := runEnsemble(t, bulk, 2)
+
+	if s, b := strict.Points[0].Takeovers, loose.Points[0].Takeovers; b <= s {
+		t.Fatalf("bulk criterion counted %d takeovers, strict %d; want bulk > strict under a 2-round budget", b, s)
+	}
+	d1, err := base.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := bulk.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 == d2 {
+		t.Fatal("digest ignores the takeover fraction")
+	}
+}
+
+// TestEnsembleCSV pins the report's CSV surface.
+func TestEnsembleCSV(t *testing.T) {
+	es := parseEnsembleDoc(t)
+	es.Replicas = 4
+	rep := runEnsemble(t, es, 2)
+	csv := rep.CSV()
+	lines := strings.Split(strings.TrimRight(csv, "\n"), "\n")
+	if len(lines) != 1+len(rep.Points) {
+		t.Fatalf("%d CSV lines for %d points:\n%s", len(lines), len(rep.Points), csv)
+	}
+	if !strings.HasPrefix(lines[0], "density,replicas,takeovers,takeover_prob,ci_low,ci_high") {
+		t.Fatalf("header %q", lines[0])
+	}
+	for _, line := range lines[1:] {
+		if got := strings.Count(line, ","); got != strings.Count(lines[0], ",") {
+			t.Fatalf("row %q has %d fields, header %d", line, got+1, strings.Count(lines[0], ",")+1)
+		}
+	}
+}
+
+// FuzzParseEnsembleSpec fuzzes the strict ensemble parser: it must never
+// panic, and anything it accepts must validate, re-marshal and re-parse
+// with a stable digest.
+func FuzzParseEnsembleSpec(f *testing.F) {
+	seeds := []string{
+		ensembleSpecDoc,
+		`{"system":{"substrate":{"generator":{"name":"barabasi-albert","n":50,"params":{"m":2},"seed":7}},"colors":2},"initial":{"config":"bernoulli","density":0.3},"run":{},"replicas":4}`,
+		`{"system":{"substrate":{}},"initial":{},"replicas":1}`,
+		`{"replicas":0}`,
+		`{}`,
+		``,
+		`[]`,
+		`{"system":{"substrate":{"topology":{"name":"toroidal-mesh","rows":9,"cols":9}},"colors":2},"initial":{"config":"bernoulli"},"run":{"schedule":{"mode":"uniform-async","p":0.5}},"replicas":2,"sweep":{"axis":"p","values":[0.25,0.75]}}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		es, err := ParseEnsembleSpec(data)
+		if err != nil {
+			return
+		}
+		if verr := es.Validate(); verr != nil {
+			t.Fatalf("ParseEnsembleSpec accepted an invalid ensemble: %v", verr)
+		}
+		d1, digestErr := es.Digest()
+		wire, err := es.JSON()
+		if err != nil {
+			t.Fatalf("accepted ensemble does not marshal: %v", err)
+		}
+		again, err := ParseEnsembleSpec(wire)
+		if err != nil {
+			t.Fatalf("accepted ensemble does not re-parse: %v", err)
+		}
+		if digestErr == nil {
+			d2, err := again.Digest()
+			if err != nil || d1 != d2 {
+				t.Fatalf("digest unstable across round trip: %q vs %q (%v)", d1, d2, err)
+			}
+		}
+	})
+}

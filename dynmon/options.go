@@ -156,6 +156,11 @@ type RunSpec struct {
 	// AvailabilitySpec.  The TimeVarying run option (an arbitrary
 	// Availability implementation) wins over this field when both are set.
 	TimeVarying *AvailabilitySpec `json:"time_varying,omitempty"`
+	// Schedule selects the update discipline by spec; see ScheduleSpec.
+	// Omitted or "synchronous" keeps the paper's synchronous model.
+	Schedule *ScheduleSpec `json:"schedule,omitempty"`
+	// Noise makes every rule application ε-faulty; see NoiseSpec.
+	Noise *NoiseSpec `json:"noise,omitempty"`
 
 	// Non-wire attachments, set through run options: observers watch the
 	// run, availability overrides TimeVarying with an arbitrary
@@ -206,8 +211,11 @@ func WithRunSpec(spec RunSpec) RunOption {
 	}
 }
 
-// engineOptions lowers the RunSpec onto the engine's option struct.
-func (rs RunSpec) engineOptions() (sim.Options, error) {
+// engineOptions lowers the RunSpec onto the engine's option struct.  colors
+// is the system's palette size K: it completes the noise model (faulted
+// applications draw uniformly from {1..K}), which the wire spec deliberately
+// does not repeat.
+func (rs RunSpec) engineOptions(colors int) (sim.Options, error) {
 	kernel, err := sim.ParseKernel(rs.Kernel)
 	if err != nil {
 		return sim.Options{}, fmt.Errorf("dynmon: %w", err)
@@ -235,6 +243,16 @@ func (rs RunSpec) engineOptions() (sim.Options, error) {
 		}
 		o.TimeVarying = model
 	}
+	if rs.Schedule != nil {
+		sched, err := rs.Schedule.Build()
+		if err != nil {
+			return sim.Options{}, err
+		}
+		o.Schedule = sched
+	}
+	if rs.Noise != nil {
+		o.Noise = &sim.Noise{Eps: rs.Noise.Eps, Colors: colors, Seed: rs.Noise.Seed}
+	}
 	return o, nil
 }
 
@@ -247,7 +265,56 @@ func (rs RunSpec) wireClone() RunSpec {
 		tv := *rs.TimeVarying
 		out.TimeVarying = &tv
 	}
+	if rs.Schedule != nil {
+		sched := *rs.Schedule
+		out.Schedule = &sched
+	}
+	if rs.Noise != nil {
+		noise := *rs.Noise
+		out.Noise = &noise
+	}
 	return out
+}
+
+// ScheduleSpec is the wire form of an update schedule (sim.Schedule): a mode
+// name — "synchronous", "uniform-async", "sequential", "random-sequential"
+// or "vertex-clock" — with the mode's parameters.  All schedule randomness
+// is counter-based on Seed, so a spec pins the trajectory exactly: same
+// spec, same schedule draws, on any kernel, worker count or resume boundary.
+type ScheduleSpec struct {
+	// Mode names the update discipline; empty means synchronous.
+	Mode string `json:"mode"`
+	// P is the uniform-async per-round activation probability (0 selects the
+	// default 0.5); other modes ignore it.
+	P float64 `json:"p,omitempty"`
+	// Period bounds the per-vertex period of vertex-clock (0 selects the
+	// default 4); other modes ignore it.
+	Period int `json:"period,omitempty"`
+	// Seed selects the activation stream.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// Build instantiates the schedule the spec names.
+func (ss *ScheduleSpec) Build() (*sim.Schedule, error) {
+	kind, err := sim.ParseScheduleKind(ss.Mode)
+	if err != nil {
+		return nil, fmt.Errorf("dynmon: %w", err)
+	}
+	return &sim.Schedule{Kind: kind, P: ss.P, Period: ss.Period, Seed: ss.Seed}, nil
+}
+
+// NoiseSpec is the wire form of the ε-faulty noise model (sim.Noise): every
+// rule application independently misfires with probability Eps, replacing
+// the computed color with a uniform draw from the system's palette.  The
+// palette size is supplied by the system at run time, not repeated here.
+// Fault draws are counter-based on Seed — see rules.FaultDraw — so noisy
+// runs are exactly as reproducible as deterministic ones.
+type NoiseSpec struct {
+	// Eps is the per-application fault probability in [0, 1]; zero disables
+	// the noise.
+	Eps float64 `json:"eps"`
+	// Seed selects the fault stream.
+	Seed uint64 `json:"seed,omitempty"`
 }
 
 // AvailabilitySpec is the wire form of the built-in link-availability
@@ -398,6 +465,12 @@ const (
 // word-parallel form.
 var ErrBitplaneIneligible = sim.ErrBitplaneIneligible
 
+// ErrStochasticSweepOnly is the error (wrapped) returned by stochastic runs
+// (a non-synchronous Schedule or an ε-faulty Noise) that force a kernel tier
+// with no stochastic form — bitplane, frontier, sharded, or parallel for the
+// in-place sequential schedules.
+var ErrStochasticSweepOnly = sim.ErrStochasticSweepOnly
+
 // Kernel forces the run's stepping tier instead of the automatic selection.
 // See the KernelTier constants; the tier used is reported on Result.Kernel.
 func Kernel(k KernelTier) RunOption {
@@ -407,6 +480,56 @@ func Kernel(k KernelTier) RunOption {
 			return
 		}
 		rs.Kernel = k.String()
+	}
+}
+
+// WithSchedule sets the run's update schedule from its wire spec.  A nil
+// spec restores the default synchronous schedule.
+func WithSchedule(spec *ScheduleSpec) RunOption {
+	return func(rs *RunSpec) { rs.Schedule = spec }
+}
+
+// UniformAsync makes each vertex update independently with probability p
+// each round (0 selects the default 0.5) under the activation stream seed.
+// Activation draws are counter-based, so the trajectory is bit-identical
+// across kernels, worker counts and checkpoint/resume boundaries.
+func UniformAsync(p float64, seed uint64) RunOption {
+	return WithSchedule(&ScheduleSpec{Mode: "uniform-async", P: p, Seed: seed})
+}
+
+// Sequential updates vertices one at a time in row-major order, each update
+// immediately visible to the rest of the sweep (the classic asynchronous
+// raster scan; one engine round = one full sweep).
+func Sequential() RunOption {
+	return WithSchedule(&ScheduleSpec{Mode: "sequential"})
+}
+
+// RandomSequential updates vertices one at a time in a fresh seeded random
+// permutation each sweep, each update immediately visible to the rest of
+// the sweep.
+func RandomSequential(seed uint64) RunOption {
+	return WithSchedule(&ScheduleSpec{Mode: "random-sequential", Seed: seed})
+}
+
+// VertexClock gives every vertex its own update period in {1..period} (0
+// selects the default bound 4) and phase, both derived from seed; a vertex
+// updates only on rounds matching its clock.
+func VertexClock(period int, seed uint64) RunOption {
+	return WithSchedule(&ScheduleSpec{Mode: "vertex-clock", Period: period, Seed: seed})
+}
+
+// Noisy makes every rule application ε-faulty: with probability eps the
+// computed color is replaced by a uniform draw from the palette (the
+// ε-faulty majority model).  Fault draws are counter-based on seed, so noisy
+// runs checkpoint, resume and parallelize bit-identically.  An eps of 0
+// removes the noise.
+func Noisy(eps float64, seed uint64) RunOption {
+	return func(rs *RunSpec) {
+		if eps == 0 {
+			rs.Noise = nil
+			return
+		}
+		rs.Noise = &NoiseSpec{Eps: eps, Seed: seed}
 	}
 }
 

@@ -98,7 +98,7 @@ func (s *System) Verify(c *Construction) *Report {
 func (s *System) VerifyColoring(initial *Coloring, target Color) *Report {
 	// verifySpec has no kernel or availability spec to lower, so this cannot
 	// fail.
-	opt, err := verifySpec(target).engineOptions()
+	opt, err := verifySpec(target).engineOptions(s.palette.K)
 	if err != nil {
 		panic(err)
 	}

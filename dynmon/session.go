@@ -91,7 +91,7 @@ func (se *Session) batchOptions(rs RunSpec) (sim.Options, error) {
 	if rs.Kernel == sim.KernelParallel.String() || rs.Kernel == sim.KernelSharded.String() {
 		rs.Kernel = sim.KernelSweep.String()
 	}
-	opt, err := rs.engineOptions()
+	opt, err := rs.engineOptions(se.sys.palette.K)
 	if err != nil {
 		return sim.Options{}, err
 	}

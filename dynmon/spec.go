@@ -13,6 +13,7 @@ import (
 	"repro/internal/dynamo"
 	"repro/internal/graphs"
 	"repro/internal/grid"
+	"repro/internal/rng"
 	"repro/internal/rules"
 	"repro/internal/sim"
 )
@@ -437,15 +438,22 @@ func GeneratorNames() []string { return graphs.GeneratorNames() }
 // form of what the CLI tools' -config flag used to assemble imperatively.
 type InitialSpec struct {
 	// Config names a construction family.  On tori: "minimum" (the paper's
-	// tight construction), "cross", "comb", "blocked", "frozen", "random".
-	// On graphs: "hubs" (top Size vertices by degree), "random" (Size
-	// uniform vertices), "greedy" (the simulation-driven greedy baseline,
-	// Size seeds).  Empty means Cells carries the configuration explicitly.
+	// tight construction), "cross", "comb", "blocked", "frozen", "random",
+	// "bernoulli".  On graphs: "hubs" (top Size vertices by degree), "random"
+	// (Size uniform vertices), "greedy" (the simulation-driven greedy
+	// baseline, Size seeds), "bernoulli".  Empty means Cells carries the
+	// configuration explicitly.
 	Config string `json:"config,omitempty"`
 	// Size parameterizes the graph families (seed-set size); 0 selects 8.
 	Size int `json:"size,omitempty"`
 	// Seed drives the random families, deterministic per seed.
 	Seed uint64 `json:"seed,omitempty"`
+	// Density is the "bernoulli" family's per-vertex target probability:
+	// every vertex is seeded with the target color independently with
+	// probability Density, otherwise with a uniform draw among the other
+	// palette colors.  It is the natural axis for takeover-probability
+	// ensembles.  Other families ignore it.
+	Density float64 `json:"density,omitempty"`
 	// Cells is the explicit configuration (wire form of a Coloring: rows,
 	// cols, row-major cells), used when Config is empty.
 	Cells *Coloring `json:"cells,omitempty"`
@@ -522,9 +530,43 @@ func (s *System) buildTorusInitial(ispec *InitialSpec, target Color) (*Construct
 		return dynamo.FrozenTiling(d.Rows, d.Cols, target, palette)
 	case "random":
 		return s.wrapConstruction(s.RandomColoring(ispec.Seed), "random", target), nil
+	case "bernoulli":
+		c, err := s.bernoulliColoring(ispec.Density, ispec.Seed, target)
+		if err != nil {
+			return nil, err
+		}
+		return s.wrapConstruction(c, "bernoulli", target), nil
 	default:
-		return nil, fmt.Errorf("dynmon: unknown torus config %q (want minimum, cross, comb, random, blocked or frozen)", ispec.Config)
+		return nil, fmt.Errorf("dynmon: unknown torus config %q (want minimum, cross, comb, random, bernoulli, blocked or frozen)", ispec.Config)
 	}
+}
+
+// bernoulliColoring seeds every vertex independently: the target color with
+// probability density, otherwise a uniform draw among the other palette
+// colors.  Draws are counter-based on (seed, vertex), so the configuration
+// is a pure function of the spec — the same on any substrate representation
+// and trivially shardable by ensembles that perturb only the seed.
+func (s *System) bernoulliColoring(density float64, seed uint64, target Color) (*Coloring, error) {
+	if density < 0 || density > 1 {
+		return nil, fmt.Errorf("dynmon: bernoulli density %v outside [0, 1]", density)
+	}
+	others := s.palette.Others(target)
+	if len(others) == 0 {
+		return nil, fmt.Errorf("dynmon: the bernoulli config needs a palette color distinct from the target; use 2 or more colors")
+	}
+	c := s.NewColoring(others[0])
+	n := c.Dims().N()
+	for v := 0; v < n; v++ {
+		if rng.Unit(rng.Hash(seed, uint64(v), 1)) < density {
+			c.Set(v, target)
+			continue
+		}
+		if len(others) > 1 {
+			pick := rng.Hash(seed, uint64(v), 2)
+			c.Set(v, others[pick%uint64(len(others))])
+		}
+	}
+	return c, nil
 }
 
 // buildGraphInitial realizes the graph seeding families.
@@ -537,6 +579,19 @@ func (s *System) buildGraphInitial(ispec *InitialSpec, target Color) (*Construct
 	size := ispec.Size
 	if size <= 0 {
 		size = 8
+	}
+	if ispec.Config == "bernoulli" {
+		c, err := s.bernoulliColoring(ispec.Density, ispec.Seed, target)
+		if err != nil {
+			return nil, err
+		}
+		return &Construction{
+			Name:     "bernoulli",
+			Target:   target,
+			Palette:  s.palette,
+			Seed:     c.Vertices(target),
+			Coloring: c,
+		}, nil
 	}
 	var c *Coloring
 	switch ispec.Config {
@@ -557,7 +612,7 @@ func (s *System) buildGraphInitial(ispec *InitialSpec, target Color) (*Construct
 			c.Set(v, target)
 		}
 	default:
-		return nil, fmt.Errorf("dynmon: unknown graph config %q (want hubs, random or greedy)", ispec.Config)
+		return nil, fmt.Errorf("dynmon: unknown graph config %q (want hubs, random, greedy or bernoulli)", ispec.Config)
 	}
 	return &Construction{
 		Name:     ispec.Config,

@@ -74,7 +74,7 @@ func (s *System) Steps(ctx context.Context, initial *Coloring, opts ...RunOption
 // ResumeSteps and the cadence-honoring path of Run.
 func (s *System) stepsSpec(ctx context.Context, initial *Coloring, rs RunSpec) iter.Seq2[*Step, error] {
 	return func(yield func(*Step, error) bool) {
-		opt, err := rs.engineOptions()
+		opt, err := rs.engineOptions(s.palette.K)
 		if err != nil {
 			yield(nil, err)
 			return
@@ -257,7 +257,7 @@ func (s *System) Resume(ctx context.Context, cp *Checkpoint, opts ...RunOption) 
 	if err != nil {
 		return nil, err
 	}
-	opt, err := rs.engineOptions()
+	opt, err := rs.engineOptions(s.palette.K)
 	if err != nil {
 		return nil, err
 	}
@@ -283,7 +283,7 @@ func (s *System) ResumeSteps(ctx context.Context, cp *Checkpoint, opts ...RunOpt
 			yield(nil, err)
 			return
 		}
-		opt, err := rs.engineOptions()
+		opt, err := rs.engineOptions(s.palette.K)
 		if err != nil {
 			yield(nil, err)
 			return

@@ -30,6 +30,14 @@
 //	                               share the /v1/runs result cache, and
 //	                               eligible ensembles step on the
 //	                               bit-sliced 64-replicas-per-word tier
+//	POST   /v1/ensembles           submit an ensemble spec
+//	                               (dynmon.EnsembleSpec: system + run +
+//	                               replicas + seed + optional sweep) and get
+//	                               the Monte-Carlo report; cached whole by
+//	                               EnsembleSpec.Digest — the report is a
+//	                               pure function of the spec, so a hit
+//	                               returns exactly the bytes a fresh run
+//	                               would produce and costs no worker slot
 //	POST   /v1/jobs                submit a spec as a detached job; returns
 //	                               202 with the job id immediately
 //	GET    /v1/jobs                list jobs
@@ -275,6 +283,7 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/runs", s.handleRun)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/ensembles", s.handleEnsemble)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleAttachJob)

@@ -6,13 +6,65 @@
 // SplitMix64 core (Steele, Lea, Flood: "Fast splittable pseudorandom number
 // generators") which is statistically solid for simulation workloads, trivial
 // to seed, and cheap enough to be used in inner loops.
+//
+// Two derivation primitives keep parallel and stochastic code deterministic
+// without sharing mutable state across goroutines:
+//
+//   - Source.Split derives a statistically independent child stream (state
+//     plus its own odd gamma increment, per the SplitMix64 paper), so each
+//     worker or replica owns a private generator that never contends with —
+//     or correlates against — its siblings.
+//   - Hash is the stateless, counter-based form: a pure function of a seed
+//     and a coordinate tuple (round, vertex, ...).  Because it carries no
+//     state at all, any evaluation order — any worker count, any stepping
+//     tier, any checkpoint/resume boundary — produces the same draw for the
+//     same coordinates, which is what makes stochastic simulation runs
+//     bit-reproducible.
 package rng
 
+import "math/bits"
+
+// golden is the SplitMix64 default stream increment (the odd integer closest
+// to 2^64/φ), used by every Source whose gamma was never customized.
+const golden = 0x9e3779b97f4a7c15
+
+// Mix is the SplitMix64 output finalizer: a fixed bijective 64-bit mixer
+// whose output is statistically independent of small changes in the input.
+// It is the shared core of Uint64 and Hash.
+func Mix(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Hash derives a deterministic 64-bit value from a seed and a coordinate
+// tuple — the counter-based randomness primitive behind stochastic schedules
+// and noisy rules.  It is a pure function: Hash(seed, r, v) is the same on
+// every machine, in every evaluation order, with no generator state to
+// thread, checkpoint or lock.  Distinct tuples give statistically independent
+// values; the same seed with a different arity never collides with a prefix
+// (each position folds in its index).
+func Hash(seed uint64, ids ...uint64) uint64 {
+	h := Mix(seed + golden)
+	for i, id := range ids {
+		h = Mix(h + golden*uint64(i+1) + Mix(id+golden))
+	}
+	return h
+}
+
+// Unit maps a 64-bit hash to a uniform float64 in [0, 1), the stateless twin
+// of Source.Float64 (same 53-bit construction).
+func Unit(h uint64) float64 { return float64(h>>11) / (1 << 53) }
+
 // Source is a deterministic SplitMix64 pseudo random number generator.
-// The zero value is a valid generator seeded with 0; prefer New to make the
-// seed explicit.
+// The zero value is a valid generator seeded with 0 on the default stream;
+// prefer New to make the seed explicit.
 type Source struct {
 	state uint64
+	// gamma is the stream increment: 0 (the zero value and every New source)
+	// means the default golden-ratio increment; Split children carry their
+	// own random odd gamma, which is what makes their streams independent.
+	gamma uint64
 }
 
 // New returns a Source seeded with the given value.  Two Sources built with
@@ -21,16 +73,18 @@ func New(seed uint64) *Source {
 	return &Source{state: seed}
 }
 
-// Seed resets the generator to the stream defined by seed.
+// Seed resets the generator to the stream defined by seed (keeping the
+// source's gamma, so a split child reseeds within its own stream family).
 func (s *Source) Seed(seed uint64) { s.state = seed }
 
 // Uint64 returns the next 64 uniformly distributed bits.
 func (s *Source) Uint64() uint64 {
-	s.state += 0x9e3779b97f4a7c15
-	z := s.state
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return z ^ (z >> 31)
+	g := s.gamma
+	if g == 0 {
+		g = golden
+	}
+	s.state += g
+	return Mix(s.state)
 }
 
 // Uint32 returns the next 32 uniformly distributed bits.
@@ -112,9 +166,28 @@ func Pick[T any](s *Source, xs []T) T {
 	return xs[s.Intn(len(xs))]
 }
 
-// Split returns a new Source whose stream is independent (for practical
-// purposes) of the receiver's remaining stream.  It is used to hand each
-// parallel worker its own generator.
+// Split returns a new Source whose stream is statistically independent of
+// the receiver's remaining stream — the derivation primitive for handing
+// each parallel worker or Monte-Carlo replica its own generator.  Following
+// the SplitMix64 paper, the child gets a fresh state and its own random odd
+// gamma increment (mixGamma), so parent and child walk different additive
+// orbits rather than shifted copies of the same one.  Splitting is
+// deterministic: the same parent state yields the same child.
 func (s *Source) Split() *Source {
-	return New(s.Uint64() ^ 0x5851f42d4c957f2d)
+	state := s.Uint64()
+	return &Source{state: state, gamma: mixGamma(s.Uint64())}
+}
+
+// mixGamma turns 64 arbitrary bits into a suitable stream increment: mixed
+// (MurmurHash3 finalizer, per the SplitMix64 paper), forced odd, and nudged
+// when the bit pattern is too regular (fewer than 24 bit-pair transitions),
+// which empirically weakens the low-order output bits.
+func mixGamma(z uint64) uint64 {
+	z = (z ^ (z >> 33)) * 0xff51afd7ed558ccd
+	z = (z ^ (z >> 33)) * 0xc4ceb9fe1a85ec53
+	z = (z ^ (z >> 33)) | 1
+	if bits.OnesCount64(z^(z>>1)) < 24 {
+		z ^= 0xaaaaaaaaaaaaaaaa
+	}
+	return z
 }

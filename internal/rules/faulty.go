@@ -1,0 +1,98 @@
+package rules
+
+import (
+	"fmt"
+
+	"repro/internal/color"
+	"repro/internal/rng"
+)
+
+// Fault-draw stream tags: the final Hash coordinate that separates the
+// "did this vertex misfire?" draw from the "which color did it take?" draw,
+// so the two are statistically independent for the same (round, vertex).
+const (
+	faultTagDraw  = 1
+	faultTagColor = 2
+)
+
+// FaultDraw injects an ε-fault into an already-computed next color: with
+// probability eps the (round, vertex) application misfires and returns a
+// uniformly random color from the palette {1..k} instead of next.  The draw
+// is counter-based — a pure function of (seed, round, vertex) via rng.Hash —
+// so the same coordinates misfire identically under any worker count,
+// kernel tier or checkpoint/resume boundary.  It is the single shared
+// definition of the noise model: Faulty wraps it as a rule decorator and the
+// engine's stochastic driver calls it directly on top of the counts fast
+// path, so the two are identical by construction.
+func FaultDraw(seed, round, v uint64, eps float64, k int, next color.Color) color.Color {
+	if eps <= 0 || k < 1 {
+		return next
+	}
+	if rng.Unit(rng.Hash(seed, round, v, faultTagDraw)) >= eps {
+		return next
+	}
+	pick := rng.Hash(seed, round, v, faultTagColor)
+	return color.Color(1 + pick%uint64(k))
+}
+
+// Faulty is the ε-faulty decorator over a CountRule: each application of the
+// inner rule independently misfires with probability Eps, replacing the
+// computed color with a uniform draw from the palette {1..K}.  It models the
+// transient faults of the fault-tolerance literature the paper points at —
+// a processor that computes the majority correctly but occasionally writes
+// a garbled value.
+//
+// The Rule/CountRule methods delegate to the inner rule noise-free: they
+// receive no (round, vertex) coordinates, and the noise model is defined
+// per application, not per neighborhood multiset.  The coordinate-aware
+// forms NextAt/NextFromCountsAt inject the fault; the simulation engine
+// drives those (via FaultDraw) when a run carries a Noise option.
+type Faulty struct {
+	// Inner is the noise-free decision rule.
+	Inner CountRule
+	// Eps is the per-application fault probability in [0, 1].
+	Eps float64
+	// K is the palette size: faulted applications draw uniformly from {1..K}.
+	K int
+	// Seed selects the fault stream.  Two runs with the same seed (and spec)
+	// misfire at exactly the same (round, vertex) coordinates.
+	Seed uint64
+}
+
+// Name returns "faulty-<inner>", e.g. "faulty-smp".
+func (r Faulty) Name() string { return "faulty-" + r.Inner.Name() }
+
+// Next delegates to the inner rule without noise; see the type comment.
+func (r Faulty) Next(current color.Color, neighbors []color.Color) color.Color {
+	return r.Inner.Next(current, neighbors)
+}
+
+// NextFromCounts delegates to the inner rule without noise.
+func (r Faulty) NextFromCounts(current color.Color, cs Counts) color.Color {
+	return r.Inner.NextFromCounts(current, cs)
+}
+
+// NextAt applies the inner rule and then the ε-fault draw for the given
+// (round, vertex) application.
+func (r Faulty) NextAt(round, v uint64, current color.Color, neighbors []color.Color) color.Color {
+	return FaultDraw(r.Seed, round, v, r.Eps, r.K, r.Inner.Next(current, neighbors))
+}
+
+// NextFromCountsAt is the counts fast path of NextAt.
+func (r Faulty) NextFromCountsAt(round, v uint64, current color.Color, cs Counts) color.Color {
+	return FaultDraw(r.Seed, round, v, r.Eps, r.K, r.Inner.NextFromCounts(current, cs))
+}
+
+// Validate reports whether the decorator's parameters are usable.
+func (r Faulty) Validate() error {
+	if r.Inner == nil {
+		return fmt.Errorf("rules: Faulty with nil inner rule")
+	}
+	if r.Eps < 0 || r.Eps > 1 {
+		return fmt.Errorf("rules: Faulty eps %v outside [0, 1]", r.Eps)
+	}
+	if r.K < 1 {
+		return fmt.Errorf("rules: Faulty palette size %d < 1", r.K)
+	}
+	return nil
+}

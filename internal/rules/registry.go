@@ -87,4 +87,10 @@ func init() {
 	// constructible as a struct literal; registering it makes it reachable
 	// from the command-line tools and the dynmon façade too.
 	Register("threshold", func() Rule { return Threshold{Target: 1, Theta: 2} })
+	// Explicit-θ variants so spec files and the ensemble "threshold" sweep
+	// axis can select the activation threshold by name.
+	Register("threshold-1", func() Rule { return Threshold{Target: 1, Theta: 1} })
+	Register("threshold-2", func() Rule { return Threshold{Target: 1, Theta: 2} })
+	Register("threshold-3", func() Rule { return Threshold{Target: 1, Theta: 3} })
+	Register("threshold-4", func() Rule { return Threshold{Target: 1, Theta: 4} })
 }

@@ -26,9 +26,11 @@ type AsyncOptions struct {
 	MaxSweeps int
 	// Order selects the activation order.
 	Order AsyncOrder
-	// Source supplies randomness for AsyncRandom; it may be nil for
-	// AsyncRaster.
-	Source *rng.Source
+	// Seed selects the AsyncRandom permutation stream: sweep s uses the
+	// permutation drawn from rng.New(rng.Hash(Seed, s)) — the same stateless
+	// derivation the ScheduleRandomSequential driver uses, which is what
+	// makes the two paths comparable draw for draw.  AsyncRaster ignores it.
+	Seed uint64
 	// StopWhenMonochromatic stops as soon as all vertices agree.
 	StopWhenMonochromatic bool
 }
@@ -49,9 +51,14 @@ type AsyncResult struct {
 
 // RunAsync evolves the initial coloring with in-place (asynchronous) updates:
 // each sweep visits every vertex once and immediately commits its new color,
-// so later vertices in the same sweep observe earlier updates.  The paper
-// analyses the synchronous model; the asynchronous variant is provided for
-// the robustness experiments suggested in its conclusions.
+// so later vertices in the same sweep observe earlier updates.
+//
+// The sequential schedules of the tiered engine (Options.Schedule with
+// ScheduleSequential or ScheduleRandomSequential) are the integrated form of
+// this loop, with streaming, checkpoint/resume and the full stop-condition
+// set.  RunAsync is kept as the standalone differential-test oracle those
+// drivers are pinned against (TestScheduleSequentialMatchesRunAsync); new
+// code should run async dynamics through Engine.Run with a Schedule.
 func (e *Engine) RunAsync(initial *color.Coloring, opt AsyncOptions) *AsyncResult {
 	d := e.sub.Dims()
 	if initial.Dims() != d {
@@ -60,9 +67,6 @@ func (e *Engine) RunAsync(initial *color.Coloring, opt AsyncOptions) *AsyncResul
 	maxSweeps := opt.MaxSweeps
 	if maxSweeps <= 0 {
 		maxSweeps = e.sub.DefaultMaxRounds()
-	}
-	if opt.Order == AsyncRandom && opt.Source == nil {
-		opt.Source = rng.New(1)
 	}
 
 	cur := initial.Clone()
@@ -78,7 +82,11 @@ func (e *Engine) RunAsync(initial *color.Coloring, opt AsyncOptions) *AsyncResul
 	scratch := make([]color.Color, 0, e.maxDeg)
 	for sweep := 1; sweep <= maxSweeps; sweep++ {
 		if opt.Order == AsyncRandom {
-			opt.Source.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+			for i := range order {
+				order[i] = i
+			}
+			src := rng.New(rng.Hash(opt.Seed, uint64(sweep)))
+			src.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 		}
 		changed := 0
 		switch cr := e.countRule; {

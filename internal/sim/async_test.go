@@ -5,7 +5,6 @@ import (
 
 	"repro/internal/color"
 	"repro/internal/grid"
-	"repro/internal/rng"
 	"repro/internal/rules"
 )
 
@@ -28,19 +27,19 @@ func TestRunAsyncRandomOrderDeterministicWithSeed(t *testing.T) {
 	topo := grid.MustNew(grid.KindToroidalMesh, 6, 6)
 	eng := NewEngine(topo, rules.SMP{})
 	init := randomColoring(3, 6, 6, 4)
-	a := eng.RunAsync(init, AsyncOptions{Order: AsyncRandom, Source: rng.New(5), StopWhenMonochromatic: true})
-	b := eng.RunAsync(init, AsyncOptions{Order: AsyncRandom, Source: rng.New(5), StopWhenMonochromatic: true})
+	a := eng.RunAsync(init, AsyncOptions{Order: AsyncRandom, Seed: 5, StopWhenMonochromatic: true})
+	b := eng.RunAsync(init, AsyncOptions{Order: AsyncRandom, Seed: 5, StopWhenMonochromatic: true})
 	if !a.Final.Equal(b.Final) || a.Sweeps != b.Sweeps {
 		t.Error("same seed must give identical async runs")
 	}
 }
 
-func TestRunAsyncRandomWithoutSourceUsesDefault(t *testing.T) {
+func TestRunAsyncRandomWithoutSeedUsesDefault(t *testing.T) {
 	topo := grid.MustNew(grid.KindToroidalMesh, 5, 5)
 	eng := NewEngine(topo, rules.SMP{})
 	res := eng.RunAsync(crossColoring(5, 5, 1), AsyncOptions{Order: AsyncRandom})
 	if res.Sweeps == 0 {
-		t.Error("async run with default source did nothing")
+		t.Error("async run with the zero seed did nothing")
 	}
 }
 

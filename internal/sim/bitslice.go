@@ -105,6 +105,9 @@ func (e *Engine) batchSliceable(initials []*color.Coloring, opt Options) error {
 	if opt.TimeVarying != nil {
 		return fmt.Errorf("%w: time-varying runs are pinned to sweep semantics", ErrBitsliceIneligible)
 	}
+	if sched, noise, err := opt.stochasticParams(); err != nil || sched != nil || noise != nil {
+		return fmt.Errorf("%w: stochastic runs are pinned to sweep semantics", ErrBitsliceIneligible)
+	}
 	if !e.deg4 {
 		return fmt.Errorf("%w: substrate %q is not a dense 4-regular index", ErrBitsliceIneligible, e.sub.Name())
 	}

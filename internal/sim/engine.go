@@ -27,6 +27,18 @@
 // mid-run bitplane→frontier downshift) is documented on the Kernel
 // constants.
 //
+// The synchronous execution model is itself a seam: Options.Schedule
+// selects which vertices fire each round (uniform-async, sequential
+// raster, random-sequential, vertex-clock — see ScheduleKind), and
+// Options.Noise makes the rule ε-faulty, flipping a vertex to a uniformly
+// random other color with probability Eps after each application.  Both
+// draw every random bit from counter-based hashes (internal/rng.Hash) of
+// the seed, the round and the vertex — never from stateful generators —
+// so stochastic runs are pure functions of their Options: bit-identical
+// across kernels, worker counts and checkpoint/resume.  Non-synchronous
+// schedules step on the in-place tiers; forcing the bitplane or sharded
+// kernel under one is rejected with ErrStochasticSweepOnly.
+//
 // The engine supports fixed-point and period-2-cycle detection,
 // monotonicity tracking with respect to a target color, per-vertex
 // recoloring-time traces (the data behind the paper's Figures 5 and 6),
@@ -257,6 +269,20 @@ type Options struct {
 	// under a non-static model (a configuration repeating two rounds apart
 	// under churny link draws is not a cycle).
 	TimeVarying Availability
+	// Schedule, when non-nil with a non-synchronous Kind, replaces the
+	// synchronous update discipline (see ScheduleKind).  Stochastic runs are
+	// pinned to sweep semantics: forcing an incremental or sharded kernel
+	// errors (wrapping ErrStochasticSweepOnly), the sequential kinds
+	// additionally pin the run to one worker, and a zero-change round is a
+	// fixed point only when every vertex was guaranteed a turn (the
+	// sequential kinds, or a degenerate mask that activates everyone).
+	// Combining a stochastic schedule with TimeVarying is not supported.
+	Schedule *Schedule
+	// Noise, when non-nil with Eps > 0, makes every rule application ε-faulty
+	// (see Noise).  Noisy runs never stop on a fixed point — a fault can
+	// reignite the dynamics at any round — and follow the same sweep-only
+	// kernel gating as Schedule.
+	Noise *Noise
 	// Target, when non-zero, is the color whose spread is tracked: the
 	// engine records per-vertex first-reach times and whether the
 	// target-colored set evolved monotonically.

@@ -40,6 +40,11 @@ type stripeTask struct {
 	avail   Availability
 	scratch []color.Color
 
+	// sched and noise parameterize the stochastic stripe; both are read-only
+	// during a step, so stripes share them without coordination.
+	sched *Schedule
+	noise *Noise
+
 	lo, hi  int
 	changed int
 }
@@ -64,6 +69,11 @@ func (t *stripeTask) growScratch() {
 	}
 }
 
+func (t *stripeTask) runStochastic() {
+	t.growScratch()
+	t.changed = t.e.stepRangeStochastic(t.round, t.sched, t.noise, t.cur, t.next, t.lo, t.hi, t.scratch)
+}
+
 func (t *stripeTask) runBitSlab() {
 	t.bp.stepSlabs(t.lo, t.hi, bitplaneSlabWords)
 }
@@ -75,10 +85,11 @@ func (t *stripeTask) runShard() {
 // Method expressions, bound once: assigning them to stripeTask.run does not
 // allocate, unlike per-step closures or bound method values.
 var (
-	runSweepTask   = (*stripeTask).runSweep
-	runSweepTVTask = (*stripeTask).runSweepTV
-	runBitSlabTask = (*stripeTask).runBitSlab
-	runShardTask   = (*stripeTask).runShard
+	runSweepTask      = (*stripeTask).runSweep
+	runSweepTVTask    = (*stripeTask).runSweepTV
+	runStochasticTask = (*stripeTask).runStochastic
+	runBitSlabTask    = (*stripeTask).runBitSlab
+	runShardTask      = (*stripeTask).runShard
 )
 
 // stripePool is the process-wide persistent worker pool behind every

@@ -551,6 +551,45 @@ func (e *Engine) streamRun(ctx context.Context, initial *color.Coloring, rs *Res
 		tv := opt.TimeVarying
 		fixedPointStops := tv == nil || staticAvailability(tv)
 
+		sched, noise, err := opt.stochasticParams()
+		if err != nil {
+			yield(nil, err)
+			return
+		}
+		stoch := sched != nil
+		if stoch {
+			if tv != nil {
+				yield(nil, fmt.Errorf("%w: stochastic schedules and noise cannot be combined with time-varying availability", ErrStochasticSweepOnly))
+				return
+			}
+			switch opt.Kernel {
+			case KernelBitplane, KernelFrontier:
+				yield(nil, fmt.Errorf("%w: kernel %v re-evaluates only vertices whose neighborhood changed color, but a masked or faulty vertex must be re-evaluated regardless", ErrStochasticSweepOnly, opt.Kernel))
+				return
+			case KernelSharded:
+				yield(nil, fmt.Errorf("%w: the sharded tier steps shard-local vertex ids, but schedule masks and fault draws are keyed by global ids", ErrStochasticSweepOnly))
+				return
+			case KernelParallel:
+				if sched.inPlace() {
+					yield(nil, fmt.Errorf("%w: the %v schedule commits updates within a sweep and cannot be striped", ErrStochasticSweepOnly, sched.Kind))
+					return
+				}
+			}
+			// A zero-change round proves a fixed point only when every vertex
+			// was guaranteed a rule application that round: always true for
+			// the sequential kinds, true for the masked kinds only when the
+			// mask degenerates to everyone, and never true under noise (a
+			// fault can reignite the dynamics at any round).
+			switch {
+			case noise != nil:
+				fixedPointStops = false
+			case sched.Kind == ScheduleUniformAsync:
+				fixedPointStops = sched.P >= 1
+			case sched.Kind == ScheduleVertexClock:
+				fixedPointStops = sched.Period == 1
+			}
+		}
+
 		switch opt.Kernel {
 		case KernelBitplane, KernelFrontier:
 			if tv != nil {
@@ -575,6 +614,35 @@ func (e *Engine) streamRun(ctx context.Context, initial *color.Coloring, rs *Res
 			drv    runDriver
 			kernel Kernel
 		)
+		switch {
+		case !stoch:
+			// Deterministic synchronous runs: the tier switch below.
+		case sched.inPlace() || opt.Kernel == KernelSweep:
+			workers = 1
+			drv, kernel = e.newStochasticDriver(st, initial, opt, sched, noise, workers, rs), KernelSweep
+		case opt.Kernel == KernelParallel:
+			if workers <= 1 {
+				par := opt
+				par.Parallel = true
+				workers = par.EffectiveWorkers(d.N())
+			}
+			drv, kernel = e.newStochasticDriver(st, initial, opt, sched, noise, workers, rs), KernelParallel
+		default: // KernelAuto, masked kinds
+			kernel = KernelSweep
+			if workers > 1 {
+				kernel = KernelParallel
+			}
+			drv = e.newStochasticDriver(st, initial, opt, sched, noise, workers, rs)
+		}
+		if drv != nil {
+			res := e.initRunResult(drv, initial, rs, opt, workers, kernel, &maxRounds, fixedPointStops)
+			from := 1
+			if rs != nil {
+				from = rs.Round + 1
+			}
+			e.drive(ctx, drv, res, opt, from, maxRounds, fixedPointStops, yield)
+			return
+		}
 		switch opt.Kernel {
 		case KernelBitplane:
 			k, plan, kern, err := e.bitplaneCheck(initial)
@@ -656,43 +724,50 @@ func (e *Engine) streamRun(ctx context.Context, initial *color.Coloring, rs *Res
 			workers = 1
 		}
 
-		res := &Result{MonotoneTarget: true, Workers: workers, Kernel: kernel}
+		res := e.initRunResult(drv, initial, rs, opt, workers, kernel, &maxRounds, fixedPointStops)
 		from := 1
 		if rs != nil {
 			from = rs.Round + 1
-			res.Rounds = rs.Round
-			res.ChangesPerRound = append([]int(nil), rs.ChangesPerRound...)
-			if opt.Target != color.None {
-				if rs.FirstReached != nil {
-					res.FirstReached = append([]int(nil), rs.FirstReached...)
-					res.MonotoneTarget = rs.MonotoneTarget
-				} else {
-					initTargetTrace(res, initial, opt.Target)
-				}
-			}
-			// A terminal checkpoint — one whose state already satisfies a
-			// stop condition — resumes as a no-op rather than stepping past
-			// the round its run stopped at.  Genuine mid-run checkpoints
-			// never trip this: their run would have stopped there instead of
-			// continuing.  (A run that stopped on a detected cycle is the
-			// exception — the oscillation is not recognizable from one
-			// configuration, so resuming it continues the oscillation and
-			// re-detects the cycle within two rounds.)
-			if rs.Round > 0 {
-				switch {
-				case fixedPointStops && rs.ChangesPerRound[rs.Round-1] == 0:
-					res.FixedPoint = true
-					maxRounds = rs.Round
-				case opt.StopWhenMonochromatic && drv.mono():
-					maxRounds = rs.Round
-				}
-			}
+		}
+		e.drive(ctx, drv, res, opt, from, maxRounds, fixedPointStops, yield)
+	}
+}
+
+// initRunResult builds the Result shell of a run — effective workers and
+// kernel, the (possibly checkpoint-seeded) target trace — and applies the
+// terminal-checkpoint no-op rule: a checkpoint whose state already satisfies
+// a stop condition resumes without stepping past the round its run stopped
+// at, by clamping maxRounds.  Genuine mid-run checkpoints never trip this:
+// their run would have stopped there instead of continuing.  (A run that
+// stopped on a detected cycle is the exception — the oscillation is not
+// recognizable from one configuration, so resuming it continues the
+// oscillation and re-detects the cycle within two rounds.)
+func (e *Engine) initRunResult(drv runDriver, initial *color.Coloring, rs *Resume, opt Options, workers int, kernel Kernel, maxRounds *int, fixedPointStops bool) *Result {
+	res := &Result{MonotoneTarget: true, Workers: workers, Kernel: kernel}
+	if rs == nil {
+		initTargetTrace(res, initial, opt.Target)
+		return res
+	}
+	res.Rounds = rs.Round
+	res.ChangesPerRound = append([]int(nil), rs.ChangesPerRound...)
+	if opt.Target != color.None {
+		if rs.FirstReached != nil {
+			res.FirstReached = append([]int(nil), rs.FirstReached...)
+			res.MonotoneTarget = rs.MonotoneTarget
 		} else {
 			initTargetTrace(res, initial, opt.Target)
 		}
-
-		e.drive(ctx, drv, res, opt, from, maxRounds, fixedPointStops, yield)
 	}
+	if rs.Round > 0 {
+		switch {
+		case fixedPointStops && rs.ChangesPerRound[rs.Round-1] == 0:
+			res.FixedPoint = true
+			*maxRounds = rs.Round
+		case opt.StopWhenMonochromatic && drv.mono():
+			*maxRounds = rs.Round
+		}
+	}
+	return res
 }
 
 // newFrontierDriver builds the frontier tier over the pooled state, seeded
